@@ -1,0 +1,79 @@
+//! Criterion benchmarks for the power-modelling pipeline (Chapter 4.1 /
+//! Figures 4.2–4.7): furnace synthesis, the nonlinear leakage fit and the
+//! run-time power predictions the DTPM algorithm calls every interval.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use power_model::{FurnaceDataset, LeakageModel, PowerModel};
+use soc_model::{Frequency, PowerDomain, Voltage};
+use std::hint::black_box;
+
+fn bench_furnace_fit(c: &mut Criterion) {
+    let dataset = FurnaceDataset::synthesize(
+        &LeakageModel::exynos5410_big(),
+        Voltage::from_volts(1.2),
+        0.31,
+        &FurnaceDataset::PAPER_SWEEP_C,
+        2.0,
+        400.0,
+        1.0,
+        || 0.0,
+    );
+    c.bench_function("fig4_3/leakage_fit_from_furnace_sweep", |b| {
+        b.iter(|| {
+            let model = black_box(&dataset).fit_leakage().expect("fit succeeds");
+            black_box(model)
+        })
+    });
+}
+
+fn bench_furnace_synthesis(c: &mut Criterion) {
+    c.bench_function("fig4_2/furnace_dataset_synthesis", |b| {
+        b.iter(|| {
+            let dataset = FurnaceDataset::synthesize(
+                &LeakageModel::exynos5410_big(),
+                Voltage::from_volts(1.2),
+                0.31,
+                &FurnaceDataset::PAPER_SWEEP_C,
+                2.0,
+                400.0,
+                1.0,
+                || 0.0,
+            );
+            black_box(dataset)
+        })
+    });
+}
+
+fn bench_runtime_prediction(c: &mut Criterion) {
+    let mut model = PowerModel::exynos5410_defaults();
+    let v = Voltage::from_volts(1.2);
+    let f = Frequency::from_mhz(1600);
+    for _ in 0..10 {
+        model.observe(PowerDomain::BigCpu, 3.0, 58.0, v, f);
+    }
+    c.bench_function("fig4_7/per_interval_power_prediction", |b| {
+        b.iter(|| {
+            // One observation plus the per-OPP predictions the DTPM frequency
+            // scan performs in a control interval.
+            model.observe(PowerDomain::BigCpu, black_box(3.1), 58.0, v, f);
+            let mut total = 0.0;
+            for mhz in (800..=1600).step_by(100) {
+                total += model.predict_total(
+                    PowerDomain::BigCpu,
+                    58.0,
+                    Voltage::from_volts(1.0),
+                    Frequency::from_mhz(mhz),
+                );
+            }
+            black_box(total)
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_furnace_fit,
+    bench_furnace_synthesis,
+    bench_runtime_prediction
+);
+criterion_main!(benches);

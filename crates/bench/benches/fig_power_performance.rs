@@ -1,0 +1,80 @@
+//! Criterion benchmarks for the power/performance summary pipeline
+//! (Figures 6.9 / 6.10) and the future-work budget distribution (Figure 7.1).
+
+use bench::ExperimentContext;
+use criterion::{criterion_group, criterion_main, Criterion};
+use dtpm::{distribute_budget, DistributionMethod, ResourceLoad};
+use platform_sim::{BenchmarkComparison, Experiment, ExperimentConfig, ExperimentKind};
+use soc_model::OppTable;
+use std::hint::black_box;
+use workload::BenchmarkId;
+
+fn bench_benchmark_comparison(c: &mut Criterion) {
+    let context = ExperimentContext::new(true).expect("calibration succeeds");
+    let mut group = c.benchmark_group("fig6_9/benchmark_comparison");
+    group.sample_size(10);
+    group.bench_function("crc32_dtpm_vs_fan", |b| {
+        b.iter(|| {
+            let baseline = Experiment::new(
+                ExperimentConfig::new(ExperimentKind::DefaultWithFan, BenchmarkId::Crc32)
+                    .with_seed(7),
+                &context.calibration,
+            )
+            .unwrap()
+            .run()
+            .unwrap();
+            let dtpm = Experiment::new(
+                ExperimentConfig::new(ExperimentKind::Dtpm, BenchmarkId::Crc32).with_seed(7),
+                &context.calibration,
+            )
+            .unwrap()
+            .run()
+            .unwrap();
+            black_box(BenchmarkComparison::against_baseline(&baseline, &dtpm))
+        })
+    });
+    group.finish();
+}
+
+fn bench_budget_distribution(c: &mut Criterion) {
+    let resources = vec![
+        ResourceLoad {
+            name: "big-cpu".to_owned(),
+            performance_weight: 3.0,
+            power_coefficient: 0.9,
+            opps: OppTable::exynos5410_big(),
+        },
+        ResourceLoad {
+            name: "little-cpu".to_owned(),
+            performance_weight: 0.6,
+            power_coefficient: 0.12,
+            opps: OppTable::exynos5410_little(),
+        },
+        ResourceLoad {
+            name: "gpu".to_owned(),
+            performance_weight: 1.2,
+            power_coefficient: 2.0,
+            opps: OppTable::exynos5410_gpu(),
+        },
+    ];
+    let mut group = c.benchmark_group("fig7_1/budget_distribution");
+    group.bench_function("greedy", |b| {
+        b.iter(|| {
+            black_box(
+                distribute_budget(black_box(&resources), 2.5, DistributionMethod::Greedy).unwrap(),
+            )
+        })
+    });
+    group.bench_function("branch_and_bound", |b| {
+        b.iter(|| {
+            black_box(
+                distribute_budget(black_box(&resources), 2.5, DistributionMethod::BranchAndBound)
+                    .unwrap(),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_benchmark_comparison, bench_budget_distribution);
+criterion_main!(benches);

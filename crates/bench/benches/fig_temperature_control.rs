@@ -1,0 +1,37 @@
+//! Criterion benchmarks for the closed-loop temperature-control experiments
+//! (Figures 6.3–6.8): how long one full benchmark simulation takes under each
+//! configuration.
+
+use bench::ExperimentContext;
+use criterion::{criterion_group, criterion_main, Criterion};
+use platform_sim::{Experiment, ExperimentConfig, ExperimentKind};
+use std::hint::black_box;
+use workload::BenchmarkId;
+
+fn bench_closed_loop_runs(c: &mut Criterion) {
+    let context = ExperimentContext::new(true).expect("calibration succeeds");
+    let mut group = c.benchmark_group("fig6_3_to_6_8/closed_loop_simulation");
+    group.sample_size(10);
+    for kind in [
+        ExperimentKind::DefaultWithFan,
+        ExperimentKind::WithoutFan,
+        ExperimentKind::Reactive,
+        ExperimentKind::Dtpm,
+    ] {
+        group.bench_function(kind.name(), |b| {
+            b.iter(|| {
+                let mut config = ExperimentConfig::new(kind, BenchmarkId::Dijkstra).with_seed(7);
+                config.max_duration_s = 120.0;
+                let result = Experiment::new(config, &context.calibration)
+                    .expect("experiment builds")
+                    .run()
+                    .expect("experiment runs");
+                black_box(result.mean_platform_power_w)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_closed_loop_runs);
+criterion_main!(benches);

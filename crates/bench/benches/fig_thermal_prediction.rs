@@ -1,0 +1,103 @@
+//! Criterion benchmarks for thermal modelling and system identification
+//! (Chapter 4.2 / Figures 4.8–4.10): plant integration, PRBS generation,
+//! least-squares identification and n-step prediction.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use numeric::Vector;
+use std::hint::black_box;
+use sysid::{identify, IdentificationDataset, IdentificationOptions, PrbsConfig, PrbsSignal};
+use thermal_model::{DiscreteThermalModel, ExynosThermalNetwork};
+
+fn example_model() -> DiscreteThermalModel {
+    let a = numeric::Matrix::from_rows(&[
+        &[0.71, 0.09, 0.09, 0.09],
+        &[0.09, 0.71, 0.09, 0.09],
+        &[0.09, 0.09, 0.71, 0.09],
+        &[0.09, 0.09, 0.09, 0.71],
+    ])
+    .unwrap();
+    let b = numeric::Matrix::from_rows(&[
+        &[0.26, 0.10, 0.16, 0.06],
+        &[0.24, 0.12, 0.10, 0.06],
+        &[0.26, 0.10, 0.16, 0.06],
+        &[0.24, 0.12, 0.10, 0.06],
+    ])
+    .unwrap();
+    DiscreteThermalModel::new(a, b, 0.1).unwrap()
+}
+
+fn identification_dataset(samples: usize) -> IdentificationDataset {
+    let truth = example_model();
+    let mut dataset = IdentificationDataset::new(4, 4, 0.1, 28.0).unwrap();
+    let mut t = Vector::zeros(4);
+    for k in 0..samples {
+        let p = Vector::from_iter((0..4).map(|u| {
+            if (k / (8 + 5 * u)) % 2 == 0 {
+                0.3
+            } else {
+                2.0 + u as f64 * 0.4
+            }
+        }));
+        dataset
+            .push(Vector::from_iter(t.iter().map(|x| x + 28.0)), p.clone())
+            .unwrap();
+        t = truth.step(&t, &p).unwrap();
+    }
+    dataset
+}
+
+fn bench_plant_step(c: &mut Criterion) {
+    let plant = ExynosThermalNetwork::odroid_xu_e();
+    let network = plant.network();
+    let temps = vec![50.0; network.node_count()];
+    let powers = plant.power_vector(&[0.9, 0.8, 0.85, 0.9], 0.05, 0.3, 0.45);
+    c.bench_function("plant/rk4_step_8_nodes", |b| {
+        b.iter(|| {
+            black_box(
+                network
+                    .step(black_box(&temps), black_box(&powers), 28.0, 0.01)
+                    .unwrap(),
+            )
+        })
+    });
+}
+
+fn bench_prbs_generation(c: &mut Criterion) {
+    c.bench_function("fig4_8/prbs_generation_10500_intervals", |b| {
+        b.iter(|| {
+            black_box(PrbsSignal::generate(PrbsConfig::default(), 10_500).unwrap())
+        })
+    });
+}
+
+fn bench_identification(c: &mut Criterion) {
+    let dataset = identification_dataset(7000);
+    c.bench_function("sysid/least_squares_identification_7000_samples", |b| {
+        b.iter(|| black_box(identify(&dataset, &IdentificationOptions::default()).unwrap()))
+    });
+}
+
+fn bench_n_step_prediction(c: &mut Criterion) {
+    let model = example_model();
+    let temps = Vector::from_slice(&[30.0, 31.0, 29.5, 30.5]);
+    let powers = Vector::from_slice(&[3.0, 0.05, 0.3, 0.45]);
+    c.bench_function("fig4_10/ten_step_prediction", |b| {
+        b.iter(|| black_box(model.predict_constant_power(&temps, &powers, 10).unwrap()))
+    });
+    c.bench_function("fig4_10/horizon_matrices_10_steps", |b| {
+        b.iter_batched(
+            || model.clone(),
+            |m| black_box(m.horizon_matrices(10).unwrap()),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_plant_step,
+    bench_prbs_generation,
+    bench_identification,
+    bench_n_step_prediction
+);
+criterion_main!(benches);

@@ -1,0 +1,95 @@
+//! Criterion benchmark of the DTPM decision overhead.
+//!
+//! The paper stresses that the models and the algorithm run inside the kernel
+//! every 100 ms with "no noticeable change in power and performance"; this
+//! bench verifies that one `decide()` call (prediction + budget + frequency
+//! scan) is far below the control interval.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dtpm::{DtpmConfig, DtpmInputs, DtpmPolicy, PowerBudget, ThermalPredictor};
+use numeric::Matrix;
+use power_model::{DomainPower, PowerModel};
+use soc_model::{Frequency, PlatformState, PowerDomain, SocSpec, Voltage};
+use std::hint::black_box;
+use thermal_model::DiscreteThermalModel;
+
+fn predictor() -> ThermalPredictor {
+    let a = Matrix::from_rows(&[
+        &[0.71, 0.09, 0.09, 0.09],
+        &[0.09, 0.71, 0.09, 0.09],
+        &[0.09, 0.09, 0.71, 0.09],
+        &[0.09, 0.09, 0.09, 0.71],
+    ])
+    .unwrap();
+    let b = Matrix::from_rows(&[
+        &[0.26, 0.10, 0.16, 0.06],
+        &[0.24, 0.12, 0.10, 0.06],
+        &[0.26, 0.10, 0.16, 0.06],
+        &[0.24, 0.12, 0.10, 0.06],
+    ])
+    .unwrap();
+    ThermalPredictor::new(DiscreteThermalModel::new(a, b, 0.1).unwrap(), 28.0).unwrap()
+}
+
+fn trained_power_model() -> PowerModel {
+    let mut model = PowerModel::exynos5410_defaults();
+    let v = Voltage::from_volts(1.2);
+    let f = Frequency::from_mhz(1600);
+    for _ in 0..10 {
+        model.observe(PowerDomain::BigCpu, 3.8, 60.0, v, f);
+    }
+    model
+}
+
+fn bench_decision(c: &mut Criterion) {
+    let spec = SocSpec::odroid_xu_e();
+    let model = trained_power_model();
+    let mut group = c.benchmark_group("dtpm_policy/decide");
+    for (label, temps) in [
+        ("affirm_cool_system", [45.0f64; 4]),
+        ("cap_frequency_near_constraint", [61.0, 60.5, 61.5, 60.8]),
+        ("last_resort_above_constraint", [66.0, 65.8, 66.1, 65.9]),
+    ] {
+        group.bench_function(label, |b| {
+            let mut policy = DtpmPolicy::new(DtpmConfig::default(), predictor());
+            b.iter(|| {
+                let decision = policy
+                    .decide(
+                        &DtpmInputs {
+                            spec: &spec,
+                            proposed: PlatformState::default_for(&spec),
+                            core_temps_c: temps,
+                            measured_power: DomainPower::new(3.9, 0.04, 0.15, 0.4),
+                        },
+                        &model,
+                    )
+                    .unwrap();
+                black_box(decision.predicted_peak_c)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_budget_computation(c: &mut Criterion) {
+    let predictor = predictor();
+    c.bench_function("dtpm_policy/power_budget_eq_5_4_to_5_6", |b| {
+        b.iter(|| {
+            black_box(
+                PowerBudget::compute(
+                    &predictor,
+                    black_box([60.0, 59.5, 60.5, 59.8]),
+                    &DomainPower::new(0.0, 0.05, 0.2, 0.4),
+                    PowerDomain::BigCpu,
+                    62.5,
+                    10,
+                    0.2,
+                )
+                .unwrap(),
+            )
+        })
+    });
+}
+
+criterion_group!(benches, bench_decision, bench_budget_computation);
+criterion_main!(benches);

@@ -1,0 +1,89 @@
+//! Regenerates every table and figure of the paper's evaluation.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p bench --bin experiments              # everything
+//! cargo run --release -p bench --bin experiments -- --list    # list ids
+//! cargo run --release -p bench --bin experiments -- --only fig6_9
+//! cargo run --release -p bench --bin experiments -- --quick   # shortened runs
+//! ```
+
+use std::io::Write as _;
+use std::path::PathBuf;
+
+use bench::{run_experiment, ExperimentContext, EXPERIMENTS};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        print_usage();
+        return;
+    }
+    if args.iter().any(|a| a == "--list") {
+        for (id, description) in EXPERIMENTS {
+            println!("{id:<10} {description}");
+        }
+        return;
+    }
+    let quick = args.iter().any(|a| a == "--quick");
+    let only: Vec<&str> = args
+        .iter()
+        .enumerate()
+        .filter(|(_, a)| *a == "--only")
+        .filter_map(|(i, _)| args.get(i + 1).map(|s| s.as_str()))
+        .collect();
+
+    let selected: Vec<&str> = if only.is_empty() {
+        EXPERIMENTS.iter().map(|(id, _)| *id).collect()
+    } else {
+        only
+    };
+
+    eprintln!("Characterising the platform (furnace sweep + PRBS identification)...");
+    let context = match ExperimentContext::new(quick) {
+        Ok(context) => context,
+        Err(err) => {
+            eprintln!("calibration failed: {err}");
+            std::process::exit(1);
+        }
+    };
+    eprintln!(
+        "  identified thermal model: 1 s prediction error {:.2}% (max {:.2}%)\n",
+        context.calibration.validation.mean_percent_error,
+        context.calibration.validation.max_percent_error
+    );
+
+    let output_dir = PathBuf::from("target/experiments");
+    std::fs::create_dir_all(&output_dir).ok();
+
+    let mut failures = 0usize;
+    for id in selected {
+        match run_experiment(id, &context) {
+            Ok(report) => {
+                println!("{report}");
+                let path = output_dir.join(format!("{id}.txt"));
+                if let Ok(mut file) = std::fs::File::create(&path) {
+                    let _ = file.write_all(report.as_bytes());
+                }
+            }
+            Err(err) => {
+                eprintln!("experiment {id} failed: {err}");
+                failures += 1;
+            }
+        }
+    }
+    if failures > 0 {
+        std::process::exit(1);
+    }
+}
+
+fn print_usage() {
+    println!("Regenerates the tables and figures of the DTPM paper evaluation.");
+    println!();
+    println!("Options:");
+    println!("  --list          list experiment identifiers");
+    println!("  --only <id>     run only the given experiment (repeatable)");
+    println!("  --quick         shortened characterisation and runs");
+    println!("  --help          this message");
+}

@@ -1,0 +1,52 @@
+//! Error type for the DTPM policy.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by the DTPM predictor, budget computation and policy.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum DtpmError {
+    /// The identified thermal model does not have the expected dimensions
+    /// (four hotspots, four power inputs).
+    ModelShape {
+        /// Number of states in the supplied model.
+        states: usize,
+        /// Number of inputs in the supplied model.
+        inputs: usize,
+    },
+    /// A configuration value was out of range.
+    InvalidConfig(&'static str),
+    /// The thermal model rejected an operation.
+    Thermal(String),
+    /// The platform model rejected an operation.
+    Platform(String),
+}
+
+impl fmt::Display for DtpmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DtpmError::ModelShape { states, inputs } => write!(
+                f,
+                "thermal model has {states} states and {inputs} inputs, expected 4 and 4"
+            ),
+            DtpmError::InvalidConfig(msg) => write!(f, "invalid DTPM configuration: {msg}"),
+            DtpmError::Thermal(msg) => write!(f, "thermal model error: {msg}"),
+            DtpmError::Platform(msg) => write!(f, "platform model error: {msg}"),
+        }
+    }
+}
+
+impl Error for DtpmError {}
+
+impl From<thermal_model::ThermalError> for DtpmError {
+    fn from(err: thermal_model::ThermalError) -> Self {
+        DtpmError::Thermal(err.to_string())
+    }
+}
+
+impl From<soc_model::SocError> for DtpmError {
+    fn from(err: soc_model::SocError) -> Self {
+        DtpmError::Platform(err.to_string())
+    }
+}

@@ -1,0 +1,218 @@
+//! Thermal prediction from the identified state-space model.
+
+use numeric::Vector;
+use power_model::DomainPower;
+use serde::{Deserialize, Serialize};
+use thermal_model::DiscreteThermalModel;
+
+use crate::DtpmError;
+
+/// Number of thermal hotspots (the four big cores with temperature sensors).
+pub const HOTSPOT_COUNT: usize = 4;
+
+/// Wraps the identified thermal model and the ambient temperature it was
+/// identified against, and answers the predictions the DTPM policy needs in
+/// absolute °C.
+///
+/// # Example
+///
+/// ```
+/// use dtpm::ThermalPredictor;
+/// use numeric::Matrix;
+/// use power_model::DomainPower;
+/// use thermal_model::DiscreteThermalModel;
+///
+/// # fn main() -> Result<(), dtpm::DtpmError> {
+/// let a = Matrix::identity(4).scale(0.95);
+/// let b = Matrix::from_rows(&[
+///     &[0.04, 0.01, 0.01, 0.005],
+///     &[0.04, 0.01, 0.01, 0.005],
+///     &[0.04, 0.01, 0.01, 0.005],
+///     &[0.04, 0.01, 0.01, 0.005],
+/// ]).unwrap();
+/// let model = DiscreteThermalModel::new(a, b, 0.1).unwrap();
+/// let predictor = ThermalPredictor::new(model, 28.0)?;
+/// let future = predictor.predict(
+///     [50.0, 49.0, 50.5, 49.5],
+///     &DomainPower::new(3.0, 0.05, 0.3, 0.4),
+///     10,
+/// )?;
+/// assert!(future.iter().all(|t| *t > 28.0));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ThermalPredictor {
+    model: DiscreteThermalModel,
+    ambient_c: f64,
+}
+
+impl ThermalPredictor {
+    /// Creates a predictor from an identified model and the ambient
+    /// temperature its training data was referenced to.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DtpmError::ModelShape`] if the model does not have four
+    /// states and four inputs.
+    pub fn new(model: DiscreteThermalModel, ambient_c: f64) -> Result<Self, DtpmError> {
+        if model.state_count() != HOTSPOT_COUNT || model.input_count() != DomainPower::default().to_vec().len()
+        {
+            return Err(DtpmError::ModelShape {
+                states: model.state_count(),
+                inputs: model.input_count(),
+            });
+        }
+        Ok(ThermalPredictor { model, ambient_c })
+    }
+
+    /// The wrapped identified model.
+    pub fn model(&self) -> &DiscreteThermalModel {
+        &self.model
+    }
+
+    /// Ambient temperature the model is referenced to, in °C.
+    pub fn ambient_c(&self) -> f64 {
+        self.ambient_c
+    }
+
+    /// Predicts the hotspot temperatures `horizon` control intervals ahead
+    /// assuming the domain powers stay constant, returning absolute °C.
+    ///
+    /// # Errors
+    ///
+    /// Propagates thermal-model errors (zero horizon, dimension mismatch).
+    pub fn predict(
+        &self,
+        core_temps_c: [f64; HOTSPOT_COUNT],
+        powers: &DomainPower,
+        horizon: usize,
+    ) -> Result<[f64; HOTSPOT_COUNT], DtpmError> {
+        let rel = Vector::from_iter(core_temps_c.iter().map(|t| t - self.ambient_c));
+        let p = Vector::from_slice(&powers.to_vec());
+        let predicted = self.model.predict_constant_power(&rel, &p, horizon)?;
+        let mut out = [0.0; HOTSPOT_COUNT];
+        for (i, slot) in out.iter_mut().enumerate() {
+            *slot = predicted[i] + self.ambient_c;
+        }
+        Ok(out)
+    }
+
+    /// Predicted maximum hotspot temperature at the horizon (°C).
+    ///
+    /// # Errors
+    ///
+    /// Propagates thermal-model errors.
+    pub fn predict_peak(
+        &self,
+        core_temps_c: [f64; HOTSPOT_COUNT],
+        powers: &DomainPower,
+        horizon: usize,
+    ) -> Result<f64, DtpmError> {
+        Ok(self
+            .predict(core_temps_c, powers, horizon)?
+            .into_iter()
+            .fold(f64::NEG_INFINITY, f64::max))
+    }
+
+    /// Returns `true` if a thermal violation of `constraint_c` is predicted at
+    /// the horizon for the given constant powers.
+    ///
+    /// # Errors
+    ///
+    /// Propagates thermal-model errors.
+    pub fn violation_predicted(
+        &self,
+        core_temps_c: [f64; HOTSPOT_COUNT],
+        powers: &DomainPower,
+        horizon: usize,
+        constraint_c: f64,
+    ) -> Result<bool, DtpmError> {
+        Ok(self.predict_peak(core_temps_c, powers, horizon)? > constraint_c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use numeric::Matrix;
+
+    fn example_predictor() -> ThermalPredictor {
+        let a = Matrix::from_rows(&[
+            &[0.71, 0.09, 0.09, 0.09],
+            &[0.09, 0.71, 0.09, 0.09],
+            &[0.09, 0.09, 0.71, 0.09],
+            &[0.09, 0.09, 0.09, 0.71],
+        ])
+        .unwrap();
+        let b = Matrix::from_rows(&[
+            &[0.26, 0.10, 0.16, 0.06],
+            &[0.24, 0.12, 0.10, 0.06],
+            &[0.26, 0.10, 0.16, 0.06],
+            &[0.24, 0.12, 0.10, 0.06],
+        ])
+        .unwrap();
+        ThermalPredictor::new(DiscreteThermalModel::new(a, b, 0.1).unwrap(), 28.0).unwrap()
+    }
+
+    #[test]
+    fn rejects_wrong_model_shape() {
+        let model = DiscreteThermalModel::new(Matrix::identity(2).scale(0.9), Matrix::zeros(2, 4), 0.1)
+            .unwrap();
+        assert!(matches!(
+            ThermalPredictor::new(model, 25.0),
+            Err(DtpmError::ModelShape { .. })
+        ));
+    }
+
+    #[test]
+    fn more_power_predicts_higher_temperature() {
+        let p = example_predictor();
+        let temps = [50.0, 49.0, 50.0, 49.0];
+        let low = p
+            .predict_peak(temps, &DomainPower::new(0.5, 0.05, 0.1, 0.3), 10)
+            .unwrap();
+        let high = p
+            .predict_peak(temps, &DomainPower::new(4.0, 0.05, 0.1, 0.3), 10)
+            .unwrap();
+        assert!(high > low + 1.0, "high {high} vs low {low}");
+    }
+
+    #[test]
+    fn longer_horizon_moves_further_towards_equilibrium() {
+        let p = example_predictor();
+        let temps = [40.0; 4];
+        let powers = DomainPower::new(4.0, 0.05, 0.3, 0.4);
+        let one = p.predict_peak(temps, &powers, 1).unwrap();
+        let ten = p.predict_peak(temps, &powers, 10).unwrap();
+        let fifty = p.predict_peak(temps, &powers, 50).unwrap();
+        assert!(one < ten && ten < fifty);
+    }
+
+    #[test]
+    fn zero_power_cools_towards_ambient() {
+        let p = example_predictor();
+        let predicted = p
+            .predict([60.0, 58.0, 59.0, 61.0], &DomainPower::default(), 100)
+            .unwrap();
+        for t in predicted {
+            assert!(t < 45.0 && t >= 28.0 - 1e-9);
+        }
+    }
+
+    #[test]
+    fn violation_detection_uses_constraint() {
+        let p = example_predictor();
+        let temps = [61.0, 60.0, 61.5, 60.5];
+        let powers = DomainPower::new(3.5, 0.05, 0.3, 0.4);
+        assert!(p.violation_predicted(temps, &powers, 10, 63.0).unwrap());
+        assert!(!p.violation_predicted(temps, &powers, 10, 90.0).unwrap());
+    }
+
+    #[test]
+    fn accessors_expose_model_and_ambient() {
+        let p = example_predictor();
+        assert_eq!(p.ambient_c(), 28.0);
+        assert_eq!(p.model().state_count(), 4);
+    }
+}

@@ -1,0 +1,76 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error type returned by the numerical routines in this crate.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum NumericError {
+    /// Two operands had incompatible dimensions.
+    DimensionMismatch {
+        /// Human-readable description of the operation that failed.
+        operation: &'static str,
+        /// Dimensions of the left operand (rows, cols).
+        left: (usize, usize),
+        /// Dimensions of the right operand (rows, cols).
+        right: (usize, usize),
+    },
+    /// A matrix that must be square was not.
+    NotSquare {
+        /// Number of rows of the offending matrix.
+        rows: usize,
+        /// Number of columns of the offending matrix.
+        cols: usize,
+    },
+    /// The matrix is singular (or numerically so) and cannot be factorised.
+    Singular,
+    /// The input data was empty or otherwise insufficient for the operation.
+    InsufficientData {
+        /// Minimum number of samples/rows required.
+        required: usize,
+        /// Number actually provided.
+        provided: usize,
+    },
+    /// An iterative algorithm failed to converge.
+    NoConvergence {
+        /// Number of iterations performed before giving up.
+        iterations: usize,
+        /// Residual norm at the last iteration.
+        residual: f64,
+    },
+    /// An argument was invalid (NaN, non-positive where positive required, ...).
+    InvalidArgument(&'static str),
+}
+
+impl fmt::Display for NumericError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NumericError::DimensionMismatch {
+                operation,
+                left,
+                right,
+            } => write!(
+                f,
+                "dimension mismatch in {operation}: {}x{} vs {}x{}",
+                left.0, left.1, right.0, right.1
+            ),
+            NumericError::NotSquare { rows, cols } => {
+                write!(f, "matrix must be square, got {rows}x{cols}")
+            }
+            NumericError::Singular => write!(f, "matrix is singular to working precision"),
+            NumericError::InsufficientData { required, provided } => write!(
+                f,
+                "insufficient data: {provided} samples provided, at least {required} required"
+            ),
+            NumericError::NoConvergence {
+                iterations,
+                residual,
+            } => write!(
+                f,
+                "iteration failed to converge after {iterations} iterations (residual {residual:.3e})"
+            ),
+            NumericError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl Error for NumericError {}

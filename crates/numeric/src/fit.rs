@@ -1,0 +1,320 @@
+//! Nonlinear least-squares fitting (Levenberg–Marquardt).
+//!
+//! The paper fits the condensed leakage-current model
+//! `I_leak(T) = c1·T²·e^(c2/T) + I_gate` to furnace measurements using a
+//! "non-linear fitting tool" (MATLAB). This module provides the equivalent:
+//! a damped Gauss–Newton (Levenberg–Marquardt) solver with a numerical
+//! Jacobian, adequate for the low-dimensional, smooth fitting problems that
+//! appear in power-model characterisation.
+
+use crate::{lstsq::ridge_lstsq, Matrix, NumericError, Vector};
+
+/// Options controlling the Levenberg–Marquardt iteration.
+#[derive(Debug, Clone, Copy)]
+pub struct FitOptions {
+    /// Maximum number of outer iterations.
+    pub max_iterations: usize,
+    /// Convergence threshold on the relative decrease of the cost function.
+    pub cost_tolerance: f64,
+    /// Convergence threshold on the infinity norm of the parameter update.
+    pub step_tolerance: f64,
+    /// Initial damping factor λ.
+    pub initial_damping: f64,
+    /// Relative step used for the finite-difference Jacobian.
+    pub jacobian_step: f64,
+}
+
+impl Default for FitOptions {
+    fn default() -> Self {
+        FitOptions {
+            max_iterations: 200,
+            cost_tolerance: 1e-12,
+            step_tolerance: 1e-10,
+            initial_damping: 1e-3,
+            jacobian_step: 1e-6,
+        }
+    }
+}
+
+/// Result of a nonlinear fit.
+#[derive(Debug, Clone)]
+pub struct FitReport {
+    /// Fitted parameter vector.
+    pub parameters: Vector,
+    /// Final cost (half the sum of squared residuals).
+    pub cost: f64,
+    /// Root-mean-square residual.
+    pub rms_residual: f64,
+    /// Number of iterations performed.
+    pub iterations: usize,
+    /// Whether the iteration met a convergence criterion (as opposed to
+    /// stopping at the iteration limit).
+    pub converged: bool,
+}
+
+fn cost_of(residuals: &Vector) -> f64 {
+    0.5 * residuals.iter().map(|r| r * r).sum::<f64>()
+}
+
+/// Fits parameters `p` so that the residual function `r(p)` is minimised in
+/// the least-squares sense, using Levenberg–Marquardt with a forward-difference
+/// Jacobian.
+///
+/// `residual_fn` must return one residual per data point; its length must not
+/// change between calls.
+///
+/// # Errors
+///
+/// * [`NumericError::InvalidArgument`] if the initial guess is empty or the
+///   residual function returns non-finite values for the initial guess.
+/// * [`NumericError::InsufficientData`] if there are fewer residuals than
+///   parameters.
+/// * [`NumericError::NoConvergence`] if the iteration limit is reached while
+///   the cost is still decreasing significantly.
+///
+/// # Example
+///
+/// ```
+/// use numeric::{levenberg_marquardt, FitOptions, Vector};
+///
+/// # fn main() -> Result<(), numeric::NumericError> {
+/// // Fit y = a * exp(b * x) to exact data with a = 2, b = 0.5.
+/// let xs: Vec<f64> = (0..20).map(|i| i as f64 * 0.1).collect();
+/// let ys: Vec<f64> = xs.iter().map(|x| 2.0 * (0.5 * x).exp()).collect();
+/// let report = levenberg_marquardt(
+///     &Vector::from_slice(&[1.0, 0.1]),
+///     &FitOptions::default(),
+///     |p| {
+///         Vector::from_iter(
+///             xs.iter()
+///                 .zip(&ys)
+///                 .map(|(x, y)| p[0] * (p[1] * x).exp() - y),
+///         )
+///     },
+/// )?;
+/// assert!((report.parameters[0] - 2.0).abs() < 1e-6);
+/// assert!((report.parameters[1] - 0.5).abs() < 1e-6);
+/// # Ok(())
+/// # }
+/// ```
+pub fn levenberg_marquardt<F>(
+    initial: &Vector,
+    options: &FitOptions,
+    residual_fn: F,
+) -> Result<FitReport, NumericError>
+where
+    F: Fn(&Vector) -> Vector,
+{
+    if initial.is_empty() {
+        return Err(NumericError::InvalidArgument(
+            "initial parameter vector must not be empty",
+        ));
+    }
+    let mut params = initial.clone();
+    let mut residuals = residual_fn(&params);
+    if !residuals.is_finite() {
+        return Err(NumericError::InvalidArgument(
+            "residual function returned non-finite values at the initial guess",
+        ));
+    }
+    if residuals.len() < params.len() {
+        return Err(NumericError::InsufficientData {
+            required: params.len(),
+            provided: residuals.len(),
+        });
+    }
+
+    let mut cost = cost_of(&residuals);
+    let mut damping = options.initial_damping;
+    let n_params = params.len();
+    let n_res = residuals.len();
+
+    let mut converged = false;
+    let mut iterations = 0;
+
+    for iter in 0..options.max_iterations {
+        iterations = iter + 1;
+
+        // Forward-difference Jacobian.
+        let mut jacobian = Matrix::zeros(n_res, n_params);
+        for j in 0..n_params {
+            let step = options.jacobian_step * params[j].abs().max(1e-8);
+            let mut perturbed = params.clone();
+            perturbed[j] += step;
+            let r_perturbed = residual_fn(&perturbed);
+            if r_perturbed.len() != n_res {
+                return Err(NumericError::InvalidArgument(
+                    "residual function changed output length",
+                ));
+            }
+            for i in 0..n_res {
+                jacobian[(i, j)] = (r_perturbed[i] - residuals[i]) / step;
+            }
+        }
+
+        // Solve the damped normal equations (Jᵀ J + λ diag) δ = -Jᵀ r, which is
+        // exactly ridge least squares on (J, -r).
+        let neg_res = Vector::from_iter(residuals.iter().map(|r| -r));
+        let mut step_accepted = false;
+        for _ in 0..20 {
+            let delta = match ridge_lstsq(&jacobian, &neg_res, damping) {
+                Ok(d) => d,
+                Err(NumericError::Singular) => {
+                    damping *= 10.0;
+                    continue;
+                }
+                Err(e) => return Err(e),
+            };
+            let candidate = Vector::from_iter(
+                params.iter().zip(delta.iter()).map(|(p, d)| p + d),
+            );
+            let candidate_res = residual_fn(&candidate);
+            let candidate_cost = if candidate_res.is_finite() {
+                cost_of(&candidate_res)
+            } else {
+                f64::INFINITY
+            };
+            if candidate_cost < cost {
+                let relative_decrease = (cost - candidate_cost) / cost.max(1e-300);
+                let step_size = delta.inf_norm();
+                params = candidate;
+                residuals = candidate_res;
+                cost = candidate_cost;
+                damping = (damping * 0.5).max(1e-12);
+                step_accepted = true;
+                if relative_decrease < options.cost_tolerance
+                    || step_size < options.step_tolerance
+                {
+                    converged = true;
+                }
+                break;
+            }
+            damping *= 10.0;
+            if damping > 1e12 {
+                break;
+            }
+        }
+
+        if !step_accepted {
+            // No descent direction improves the cost: we are at a (local) minimum.
+            converged = true;
+        }
+        if converged {
+            break;
+        }
+    }
+
+    if !converged && iterations >= options.max_iterations {
+        return Err(NumericError::NoConvergence {
+            iterations,
+            residual: (2.0 * cost).sqrt(),
+        });
+    }
+
+    let rms = (residuals.iter().map(|r| r * r).sum::<f64>() / n_res as f64).sqrt();
+    Ok(FitReport {
+        parameters: params,
+        cost,
+        rms_residual: rms,
+        iterations,
+        converged: true,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fits_exponential_exactly() {
+        let xs: Vec<f64> = (0..30).map(|i| i as f64 * 0.2).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 * (-0.7 * x).exp() + 0.1).collect();
+        let report = levenberg_marquardt(
+            &Vector::from_slice(&[1.0, -0.1, 0.0]),
+            &FitOptions::default(),
+            |p| {
+                Vector::from_iter(
+                    xs.iter()
+                        .zip(&ys)
+                        .map(|(x, y)| p[0] * (p[1] * x).exp() + p[2] - y),
+                )
+            },
+        )
+        .unwrap();
+        assert!((report.parameters[0] - 3.0).abs() < 1e-5);
+        assert!((report.parameters[1] + 0.7).abs() < 1e-5);
+        assert!((report.parameters[2] - 0.1).abs() < 1e-5);
+        assert!(report.rms_residual < 1e-7);
+    }
+
+    #[test]
+    fn fits_leakage_shaped_model() {
+        // Same functional form the paper fits: c1*T^2*exp(c2/T) + igate, with T in kelvin.
+        let c1 = 2.0e-6;
+        let c2 = -800.0;
+        let igate = 0.02;
+        let temps: Vec<f64> = (0..9).map(|i| 313.15 + 5.0 * i as f64).collect();
+        let currents: Vec<f64> = temps
+            .iter()
+            .map(|t| c1 * t * t * (c2 / t).exp() + igate)
+            .collect();
+        let report = levenberg_marquardt(
+            &Vector::from_slice(&[1.0e-6, -500.0, 0.0]),
+            &FitOptions::default(),
+            |p| {
+                Vector::from_iter(temps.iter().zip(&currents).map(|(t, i)| {
+                    p[0] * t * t * (p[1] / t).exp() + p[2] - i
+                }))
+            },
+        )
+        .unwrap();
+        // The model is over-parameterised over a narrow range, so check the
+        // *predicted* currents rather than the raw parameters.
+        for (t, i_true) in temps.iter().zip(&currents) {
+            let p = &report.parameters;
+            let i_fit = p[0] * t * t * (p[1] / t).exp() + p[2];
+            assert!((i_fit - i_true).abs() < 1e-6, "at T={t}: {i_fit} vs {i_true}");
+        }
+    }
+
+    #[test]
+    fn rejects_empty_initial_guess() {
+        let r = levenberg_marquardt(&Vector::zeros(0), &FitOptions::default(), |_| {
+            Vector::from_slice(&[0.0])
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn rejects_fewer_residuals_than_parameters() {
+        let r = levenberg_marquardt(
+            &Vector::from_slice(&[1.0, 2.0, 3.0]),
+            &FitOptions::default(),
+            |_| Vector::from_slice(&[0.0]),
+        );
+        assert!(matches!(r, Err(NumericError::InsufficientData { .. })));
+    }
+
+    #[test]
+    fn rejects_non_finite_initial_residuals() {
+        let r = levenberg_marquardt(
+            &Vector::from_slice(&[1.0]),
+            &FitOptions::default(),
+            |_| Vector::from_slice(&[f64::NAN, 1.0]),
+        );
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn already_optimal_terminates_quickly() {
+        // Residuals independent of parameters -> first iteration accepts nothing and converges.
+        let report = levenberg_marquardt(
+            &Vector::from_slice(&[5.0]),
+            &FitOptions::default(),
+            |p| Vector::from_slice(&[p[0] - 5.0, 0.0]),
+        )
+        .unwrap();
+        assert!(report.iterations <= 3);
+        assert!(report.cost < 1e-20);
+    }
+}

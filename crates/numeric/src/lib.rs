@@ -1,0 +1,50 @@
+//! Small, dependency-free numerical substrate for the DTPM reproduction.
+//!
+//! The paper's methodology relies on three numerical building blocks that are
+//! normally delegated to MATLAB:
+//!
+//! * dense linear algebra for the discrete thermal state-space model
+//!   `T[k+1] = As·T[k] + Bs·P[k]` ([`Matrix`], [`Vector`]),
+//! * linear least squares for system identification of `As` and `Bs`
+//!   ([`lstsq`]),
+//! * nonlinear least squares for fitting the leakage model
+//!   `I_leak = c1·T²·e^(c2/T) + I_gate` to furnace measurements ([`fit`]).
+//!
+//! On top of those, [`stats`] provides the descriptive statistics used by the
+//! evaluation (variance, max–min spread, RMSE, MAPE, fit percentage) and
+//! [`interp`] provides the table interpolation used by voltage/frequency maps.
+//!
+//! # Example
+//!
+//! ```
+//! use numeric::{Matrix, Vector};
+//!
+//! # fn main() -> Result<(), numeric::NumericError> {
+//! // Solve a small linear system A x = b.
+//! let a = Matrix::from_rows(&[&[4.0, 1.0], &[1.0, 3.0]])?;
+//! let b = Vector::from_slice(&[1.0, 2.0]);
+//! let x = a.solve(&b)?;
+//! assert!((a.mul_vector(&x)? - b).norm() < 1e-12);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod fit;
+pub mod interp;
+pub mod lstsq;
+pub mod matrix;
+pub mod solve;
+pub mod stats;
+
+mod error;
+
+pub use error::NumericError;
+pub use fit::{levenberg_marquardt, FitOptions, FitReport};
+pub use interp::{interp1, Table1d};
+pub use lstsq::{lstsq, ridge_lstsq};
+pub use matrix::{Matrix, Vector};
+pub use solve::LuDecomposition;
+pub use stats::Summary;

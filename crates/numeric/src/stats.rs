@@ -1,0 +1,273 @@
+//! Descriptive statistics used throughout the evaluation.
+//!
+//! The paper reports thermal stability as average temperature, max–min spread
+//! and temperature *variance* (the "6× reduction in variance" headline),
+//! prediction quality as mean absolute percentage error, and power/performance
+//! as relative savings/loss. All of those reductions live here so every crate
+//! computes them identically.
+
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of a scalar time series.
+///
+/// # Example
+///
+/// ```
+/// use numeric::Summary;
+///
+/// let s = Summary::of(&[1.0, 2.0, 3.0, 4.0]);
+/// assert_eq!(s.mean, 2.5);
+/// assert_eq!(s.max - s.min, 3.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population variance.
+    pub variance: f64,
+    /// Standard deviation (square root of the population variance).
+    pub std_dev: f64,
+    /// Minimum sample.
+    pub min: f64,
+    /// Maximum sample.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Computes summary statistics of the given samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty.
+    pub fn of(samples: &[f64]) -> Summary {
+        assert!(!samples.is_empty(), "cannot summarise an empty series");
+        let count = samples.len();
+        let mean = samples.iter().sum::<f64>() / count as f64;
+        let variance = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / count as f64;
+        let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        Summary {
+            count,
+            mean,
+            variance,
+            std_dev: variance.sqrt(),
+            min,
+            max,
+        }
+    }
+
+    /// Max–min spread of the series (the paper's thermal-stability metric).
+    pub fn range(&self) -> f64 {
+        self.max - self.min
+    }
+}
+
+/// Arithmetic mean of the samples; returns 0 for an empty slice.
+pub fn mean(samples: &[f64]) -> f64 {
+    if samples.is_empty() {
+        0.0
+    } else {
+        samples.iter().sum::<f64>() / samples.len() as f64
+    }
+}
+
+/// Population variance of the samples; returns 0 for fewer than two samples.
+pub fn variance(samples: &[f64]) -> f64 {
+    if samples.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(samples);
+    samples.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / samples.len() as f64
+}
+
+/// Root-mean-square error between two equally long series.
+///
+/// # Panics
+///
+/// Panics if the series lengths differ or are zero.
+pub fn rmse(predicted: &[f64], actual: &[f64]) -> f64 {
+    assert_eq!(predicted.len(), actual.len(), "rmse length mismatch");
+    assert!(!predicted.is_empty(), "rmse of empty series");
+    let sum: f64 = predicted
+        .iter()
+        .zip(actual)
+        .map(|(p, a)| (p - a) * (p - a))
+        .sum();
+    (sum / predicted.len() as f64).sqrt()
+}
+
+/// Mean absolute error between two equally long series.
+///
+/// # Panics
+///
+/// Panics if the series lengths differ or are zero.
+pub fn mean_absolute_error(predicted: &[f64], actual: &[f64]) -> f64 {
+    assert_eq!(predicted.len(), actual.len(), "mae length mismatch");
+    assert!(!predicted.is_empty(), "mae of empty series");
+    predicted
+        .iter()
+        .zip(actual)
+        .map(|(p, a)| (p - a).abs())
+        .sum::<f64>()
+        / predicted.len() as f64
+}
+
+/// Mean absolute percentage error (in percent) between predictions and actual
+/// values. Samples whose actual value is zero are skipped.
+///
+/// This is the metric behind the paper's "average prediction error is less
+/// than 3%" claim (with temperatures expressed in °C).
+///
+/// # Panics
+///
+/// Panics if the series lengths differ.
+pub fn mean_absolute_percentage_error(predicted: &[f64], actual: &[f64]) -> f64 {
+    assert_eq!(predicted.len(), actual.len(), "mape length mismatch");
+    let mut total = 0.0;
+    let mut count = 0usize;
+    for (p, a) in predicted.iter().zip(actual) {
+        if a.abs() > f64::EPSILON {
+            total += ((p - a) / a).abs();
+            count += 1;
+        }
+    }
+    if count == 0 {
+        0.0
+    } else {
+        100.0 * total / count as f64
+    }
+}
+
+/// Maximum absolute error between two equally long series.
+///
+/// # Panics
+///
+/// Panics if the series lengths differ.
+pub fn max_absolute_error(predicted: &[f64], actual: &[f64]) -> f64 {
+    assert_eq!(predicted.len(), actual.len(), "max error length mismatch");
+    predicted
+        .iter()
+        .zip(actual)
+        .map(|(p, a)| (p - a).abs())
+        .fold(0.0, f64::max)
+}
+
+/// Normalised fit percentage, `100·(1 − ‖y − ŷ‖ / ‖y − mean(y)‖)`, the metric
+/// reported by MATLAB's `compare` for identified models. 100 means a perfect
+/// fit, 0 means no better than predicting the mean.
+///
+/// # Panics
+///
+/// Panics if the series lengths differ or are zero.
+pub fn fit_percentage(predicted: &[f64], actual: &[f64]) -> f64 {
+    assert_eq!(predicted.len(), actual.len(), "fit length mismatch");
+    assert!(!predicted.is_empty(), "fit of empty series");
+    let mean_actual = mean(actual);
+    let err: f64 = predicted
+        .iter()
+        .zip(actual)
+        .map(|(p, a)| (p - a) * (p - a))
+        .sum::<f64>()
+        .sqrt();
+    let denom: f64 = actual
+        .iter()
+        .map(|a| (a - mean_actual) * (a - mean_actual))
+        .sum::<f64>()
+        .sqrt();
+    if denom <= f64::EPSILON {
+        if err <= f64::EPSILON {
+            100.0
+        } else {
+            0.0
+        }
+    } else {
+        100.0 * (1.0 - err / denom)
+    }
+}
+
+/// Relative change from `baseline` to `value` in percent. Positive means
+/// `value` is larger than the baseline.
+///
+/// Returns 0 if the baseline is zero.
+pub fn relative_change_percent(baseline: f64, value: f64) -> f64 {
+    if baseline.abs() <= f64::EPSILON {
+        0.0
+    } else {
+        100.0 * (value - baseline) / baseline
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_simple_series() {
+        let s = Summary::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(s.count, 8);
+        assert_eq!(s.mean, 5.0);
+        assert_eq!(s.variance, 4.0);
+        assert_eq!(s.std_dev, 2.0);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+        assert_eq!(s.range(), 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn summary_of_empty_panics() {
+        Summary::of(&[]);
+    }
+
+    #[test]
+    fn mean_and_variance_edge_cases() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[1.0]), 0.0);
+        assert_eq!(variance(&[1.0, 3.0]), 1.0);
+    }
+
+    #[test]
+    fn rmse_and_mae() {
+        let p = [1.0, 2.0, 3.0];
+        let a = [1.0, 2.0, 5.0];
+        assert!((rmse(&p, &a) - (4.0f64 / 3.0).sqrt()).abs() < 1e-12);
+        assert!((mean_absolute_error(&p, &a) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(max_absolute_error(&p, &a), 2.0);
+    }
+
+    #[test]
+    fn mape_skips_zero_actuals() {
+        let p = [1.1, 2.0, 50.0];
+        let a = [1.0, 2.0, 0.0];
+        // Only the first two points count: (10% + 0%) / 2 = 5%.
+        assert!((mean_absolute_percentage_error(&p, &a) - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mape_all_zero_actuals_is_zero() {
+        assert_eq!(mean_absolute_percentage_error(&[1.0], &[0.0]), 0.0);
+    }
+
+    #[test]
+    fn fit_percentage_perfect_and_mean_prediction() {
+        let actual = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(fit_percentage(&actual, &actual), 100.0);
+        let mean_pred = [2.5, 2.5, 2.5, 2.5];
+        assert!(fit_percentage(&mean_pred, &actual).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fit_percentage_constant_actual() {
+        assert_eq!(fit_percentage(&[5.0, 5.0], &[5.0, 5.0]), 100.0);
+        assert_eq!(fit_percentage(&[4.0, 6.0], &[5.0, 5.0]), 0.0);
+    }
+
+    #[test]
+    fn relative_change() {
+        assert_eq!(relative_change_percent(2.0, 1.0), -50.0);
+        assert_eq!(relative_change_percent(0.0, 1.0), 0.0);
+        assert_eq!(relative_change_percent(4.0, 5.0), 25.0);
+    }
+}

@@ -1,0 +1,139 @@
+//! Property-based tests for the numerical substrate.
+
+use numeric::{lstsq, ridge_lstsq, stats, Matrix, Summary, Table1d, Vector};
+use proptest::prelude::*;
+
+fn small_f64() -> impl Strategy<Value = f64> {
+    (-1.0e3..1.0e3f64).prop_filter("finite", |v| v.is_finite())
+}
+
+fn square_matrix(n: usize) -> impl Strategy<Value = Matrix> {
+    prop::collection::vec(small_f64(), n * n)
+        .prop_map(move |data| Matrix::from_vec(n, n, data).expect("dims match"))
+}
+
+fn vector(n: usize) -> impl Strategy<Value = Vector> {
+    prop::collection::vec(small_f64(), n).prop_map(Vector::from)
+}
+
+proptest! {
+    #[test]
+    fn transpose_is_involution(m in square_matrix(4)) {
+        prop_assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn matrix_addition_commutes(a in square_matrix(3), b in square_matrix(3)) {
+        let ab = a.add(&b).unwrap();
+        let ba = b.add(&a).unwrap();
+        prop_assert!(ab.sub(&ba).unwrap().max_abs() < 1e-9);
+    }
+
+    #[test]
+    fn identity_is_multiplicative_neutral(m in square_matrix(4)) {
+        let i = Matrix::identity(4);
+        let left = i.mul(&m).unwrap();
+        let right = m.mul(&i).unwrap();
+        prop_assert!(left.sub(&m).unwrap().max_abs() < 1e-12);
+        prop_assert!(right.sub(&m).unwrap().max_abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_round_trips_diagonally_dominant(
+        offdiag in prop::collection::vec(-0.9..0.9f64, 12),
+        x in vector(4),
+    ) {
+        // Build a diagonally dominant (hence nonsingular) 4x4 matrix.
+        let mut a = Matrix::identity(4).scale(5.0);
+        let mut k = 0;
+        for i in 0..4 {
+            for j in 0..4 {
+                if i != j {
+                    a[(i, j)] = offdiag[k];
+                    k += 1;
+                }
+            }
+        }
+        let b = a.mul_vector(&x).unwrap();
+        let solved = a.solve(&b).unwrap();
+        for i in 0..4 {
+            prop_assert!((solved[i] - x[i]).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn inverse_times_matrix_is_identity(
+        offdiag in prop::collection::vec(-0.9..0.9f64, 12),
+    ) {
+        let mut a = Matrix::identity(4).scale(4.0);
+        let mut k = 0;
+        for i in 0..4 {
+            for j in 0..4 {
+                if i != j {
+                    a[(i, j)] = offdiag[k];
+                    k += 1;
+                }
+            }
+        }
+        let inv = a.inverse().unwrap();
+        let prod = a.mul(&inv).unwrap();
+        prop_assert!(prod.sub(&Matrix::identity(4)).unwrap().max_abs() < 1e-8);
+    }
+
+    #[test]
+    fn lstsq_recovers_exact_linear_model(
+        theta in vector(3),
+        xs in prop::collection::vec(prop::collection::vec(-10.0..10.0f64, 3), 20..60),
+    ) {
+        let rows: Vec<&[f64]> = xs.iter().map(|r| r.as_slice()).collect();
+        let phi = Matrix::from_rows(&rows).unwrap();
+        let y = phi.mul_vector(&theta).unwrap();
+        match lstsq(&phi, &y) {
+            Ok(est) => {
+                let reproduced = phi.mul_vector(&est).unwrap();
+                for i in 0..y.len() {
+                    prop_assert!((reproduced[i] - y[i]).abs() < 1e-5);
+                }
+            }
+            // Random regressors can be (near-)collinear; ridge must then succeed.
+            Err(_) => {
+                let est = ridge_lstsq(&phi, &y, 1e-6).unwrap();
+                prop_assert!(est.is_finite());
+            }
+        }
+    }
+
+    #[test]
+    fn summary_bounds_are_consistent(samples in prop::collection::vec(-1e3..1e3f64, 1..200)) {
+        let s = Summary::of(&samples);
+        prop_assert!(s.min <= s.mean + 1e-9);
+        prop_assert!(s.mean <= s.max + 1e-9);
+        prop_assert!(s.variance >= 0.0);
+        prop_assert!((s.std_dev * s.std_dev - s.variance).abs() < 1e-6);
+        prop_assert!(s.range() >= 0.0);
+    }
+
+    #[test]
+    fn rmse_is_zero_iff_series_equal(samples in prop::collection::vec(-1e3..1e3f64, 1..50)) {
+        prop_assert_eq!(stats::rmse(&samples, &samples), 0.0);
+    }
+
+    #[test]
+    fn fit_percentage_of_self_is_100(samples in prop::collection::vec(-1e3..1e3f64, 2..50)) {
+        prop_assert!((stats::fit_percentage(&samples, &samples) - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn interpolation_stays_within_hull(
+        ys in prop::collection::vec(-100.0..100.0f64, 2..10),
+        t in 0.0..1.0f64,
+    ) {
+        let xs: Vec<f64> = (0..ys.len()).map(|i| i as f64).collect();
+        let table = Table1d::new(xs.clone(), ys.clone()).unwrap();
+        let x = t * (ys.len() - 1) as f64;
+        let y = table.lookup(x).unwrap();
+        let lo = ys.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = ys.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(y >= lo - 1e-9 && y <= hi + 1e-9);
+    }
+}

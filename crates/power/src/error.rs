@@ -1,0 +1,36 @@
+//! Error type for power-model operations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by power-model construction and characterisation.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum PowerError {
+    /// The characterisation data was empty or too small to fit the model.
+    InsufficientData {
+        /// Minimum number of samples required.
+        required: usize,
+        /// Number of samples provided.
+        provided: usize,
+    },
+    /// The nonlinear leakage fit failed to converge.
+    FitFailed(String),
+    /// An argument was out of its physical range.
+    InvalidArgument(&'static str),
+}
+
+impl fmt::Display for PowerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PowerError::InsufficientData { required, provided } => write!(
+                f,
+                "insufficient characterisation data: {provided} samples, need at least {required}"
+            ),
+            PowerError::FitFailed(msg) => write!(f, "leakage model fit failed: {msg}"),
+            PowerError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl Error for PowerError {}

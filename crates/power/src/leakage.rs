@@ -1,0 +1,324 @@
+//! Temperature-dependent leakage model and its characterisation.
+//!
+//! The paper condenses the sub-threshold leakage equation into
+//!
+//! ```text
+//! I_leak(T) = c1·T²·e^(c2/T) + I_gate      (Eq. 4.2, T in kelvin)
+//! ```
+//!
+//! and fits `c1`, `c2` and `I_gate` to furnace measurements taken while a
+//! light, fixed-frequency workload keeps the dynamic power constant
+//! (Figures 4.1–4.3). Leakage *power* is the supply voltage times the leakage
+//! current.
+
+use numeric::{levenberg_marquardt, FitOptions, Vector};
+use serde::{Deserialize, Serialize};
+use soc_model::Voltage;
+
+use crate::PowerError;
+
+/// Converts a temperature in °C to kelvin.
+pub fn celsius_to_kelvin(temp_c: f64) -> f64 {
+    temp_c + 273.15
+}
+
+/// The three condensed parameters of the leakage-current model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LeakageParams {
+    /// Pre-exponential constant `c1` (A/K²).
+    pub c1: f64,
+    /// Exponential constant `c2` (K); negative for sub-threshold leakage that
+    /// grows with temperature.
+    pub c2: f64,
+    /// Gate leakage current `I_gate` (A), independent of temperature.
+    pub igate_a: f64,
+}
+
+impl LeakageParams {
+    /// Parameters characterised for the Exynos 5410 big (A15) cluster.
+    ///
+    /// They reproduce the shape of Figure 4.3: roughly 0.08 W of leakage at
+    /// 40 °C growing to roughly 0.27 W at 80 °C (at 1.2 V).
+    pub fn exynos5410_big() -> Self {
+        LeakageParams {
+            c1: 0.0115,
+            c2: -3100.0,
+            igate_a: 0.008,
+        }
+    }
+
+    /// Parameters for the little (A7) cluster: the A7 cores are far smaller,
+    /// so their leakage is roughly an order of magnitude below the A15's.
+    pub fn exynos5410_little() -> Self {
+        LeakageParams {
+            c1: 0.0017,
+            c2: -3100.0,
+            igate_a: 0.0015,
+        }
+    }
+
+    /// Parameters for the GPU domain.
+    pub fn exynos5410_gpu() -> Self {
+        LeakageParams {
+            c1: 0.0040,
+            c2: -3100.0,
+            igate_a: 0.003,
+        }
+    }
+
+    /// Parameters for the memory domain (mostly temperature-insensitive
+    /// standby current).
+    pub fn exynos5410_memory() -> Self {
+        LeakageParams {
+            c1: 0.0008,
+            c2: -3100.0,
+            igate_a: 0.010,
+        }
+    }
+}
+
+/// Temperature-dependent leakage model for one power domain.
+///
+/// # Example
+///
+/// ```
+/// use power_model::LeakageModel;
+/// use soc_model::Voltage;
+///
+/// let model = LeakageModel::exynos5410_big();
+/// let cool = model.power_w(Voltage::from_volts(1.2), 40.0);
+/// let hot = model.power_w(Voltage::from_volts(1.2), 80.0);
+/// assert!(hot > 2.5 * cool, "leakage grows steeply with temperature");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LeakageModel {
+    params: LeakageParams,
+}
+
+impl LeakageModel {
+    /// Creates a leakage model from explicit parameters.
+    pub fn new(params: LeakageParams) -> Self {
+        LeakageModel { params }
+    }
+
+    /// Characterised model of the big cluster.
+    pub fn exynos5410_big() -> Self {
+        LeakageModel::new(LeakageParams::exynos5410_big())
+    }
+
+    /// Characterised model of the little cluster.
+    pub fn exynos5410_little() -> Self {
+        LeakageModel::new(LeakageParams::exynos5410_little())
+    }
+
+    /// Characterised model of the GPU.
+    pub fn exynos5410_gpu() -> Self {
+        LeakageModel::new(LeakageParams::exynos5410_gpu())
+    }
+
+    /// Characterised model of the memory domain.
+    pub fn exynos5410_memory() -> Self {
+        LeakageModel::new(LeakageParams::exynos5410_memory())
+    }
+
+    /// The model parameters.
+    pub fn params(&self) -> LeakageParams {
+        self.params
+    }
+
+    /// Leakage current at the given die temperature, in amperes.
+    pub fn current_a(&self, temp_c: f64) -> f64 {
+        let t = celsius_to_kelvin(temp_c);
+        self.params.c1 * t * t * (self.params.c2 / t).exp() + self.params.igate_a
+    }
+
+    /// Leakage power at the given supply voltage and die temperature, in watts.
+    pub fn power_w(&self, voltage: Voltage, temp_c: f64) -> f64 {
+        voltage.volts() * self.current_a(temp_c)
+    }
+
+    /// Fits the leakage parameters to furnace measurements.
+    ///
+    /// Each sample pairs a die temperature (°C) with the measured *total*
+    /// power (W) of the domain while a light workload keeps the dynamic power
+    /// constant at `dynamic_w` (the paper's central assumption: "dynamic power
+    /// shows negligible variation with temperature"). The dynamic component is
+    /// subtracted, the remainder is divided by the supply voltage, and the
+    /// condensed leakage-current equation is fitted to the result with
+    /// nonlinear least squares.
+    ///
+    /// # Errors
+    ///
+    /// * [`PowerError::InsufficientData`] with fewer than four distinct
+    ///   temperature points.
+    /// * [`PowerError::InvalidArgument`] for a non-positive supply voltage or
+    ///   negative dynamic power.
+    /// * [`PowerError::FitFailed`] if the nonlinear fit does not converge or
+    ///   produces non-physical (negative-leakage) parameters.
+    pub fn fit_from_furnace(
+        samples: &[(f64, f64)],
+        supply: Voltage,
+        dynamic_w: f64,
+    ) -> Result<Self, PowerError> {
+        if samples.len() < 4 {
+            return Err(PowerError::InsufficientData {
+                required: 4,
+                provided: samples.len(),
+            });
+        }
+        if supply.volts() <= 0.0 {
+            return Err(PowerError::InvalidArgument("supply voltage must be positive"));
+        }
+        if dynamic_w < 0.0 {
+            return Err(PowerError::InvalidArgument(
+                "characterisation dynamic power must be non-negative",
+            ));
+        }
+        let temps: Vec<f64> = samples.iter().map(|(t, _)| *t).collect();
+        let v = supply.volts();
+        // Leakage current implied by each measurement.
+        let currents: Vec<f64> = samples
+            .iter()
+            .map(|(_, p)| ((p - dynamic_w) / v).max(0.0))
+            .collect();
+
+        let i_min = currents.iter().cloned().fold(f64::INFINITY, f64::min);
+        let initial = Vector::from_slice(&[0.005, -2500.0, (0.3 * i_min).max(1e-4)]);
+
+        let report = levenberg_marquardt(&initial, &FitOptions::default(), |p| {
+            Vector::from_iter(temps.iter().zip(&currents).map(|(&t_c, &i_meas)| {
+                let t = celsius_to_kelvin(t_c);
+                p[0] * t * t * (p[1] / t).exp() + p[2] - i_meas
+            }))
+        })
+        .map_err(|e| PowerError::FitFailed(e.to_string()))?;
+
+        let fitted = LeakageParams {
+            c1: report.parameters[0],
+            c2: report.parameters[1],
+            igate_a: report.parameters[2],
+        };
+        let model = LeakageModel::new(fitted);
+
+        // Sanity: the fitted model must predict non-negative, finite leakage
+        // over the characterised range.
+        for &t in &temps {
+            let i = model.current_a(t);
+            if !i.is_finite() || i < 0.0 {
+                return Err(PowerError::FitFailed(format!(
+                    "fitted leakage current is non-physical at {t} degC: {i}"
+                )));
+            }
+        }
+        Ok(model)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leakage_grows_with_temperature() {
+        let m = LeakageModel::exynos5410_big();
+        let mut last = 0.0;
+        for t in [40.0, 50.0, 60.0, 70.0, 80.0] {
+            let p = m.power_w(Voltage::from_volts(1.2), t);
+            assert!(p > last, "leakage must be monotonic in temperature");
+            last = p;
+        }
+    }
+
+    #[test]
+    fn big_cluster_leakage_matches_figure_4_3_shape() {
+        // Figure 4.3: about 0.07-0.09 W at 40degC and 0.22-0.3 W at 80degC.
+        let m = LeakageModel::exynos5410_big();
+        let cool = m.power_w(Voltage::from_volts(1.2), 40.0);
+        let hot = m.power_w(Voltage::from_volts(1.2), 80.0);
+        assert!((0.05..0.12).contains(&cool), "cool leakage {cool}");
+        assert!((0.20..0.35).contains(&hot), "hot leakage {hot}");
+        assert!(hot / cool > 2.5 && hot / cool < 5.0, "ratio {}", hot / cool);
+    }
+
+    #[test]
+    fn little_cluster_leaks_much_less_than_big() {
+        let big = LeakageModel::exynos5410_big();
+        let little = LeakageModel::exynos5410_little();
+        for t in [40.0, 60.0, 80.0] {
+            assert!(little.current_a(t) < 0.3 * big.current_a(t));
+        }
+    }
+
+    #[test]
+    fn leakage_power_scales_with_voltage() {
+        let m = LeakageModel::exynos5410_big();
+        let lo = m.power_w(Voltage::from_volts(0.92), 60.0);
+        let hi = m.power_w(Voltage::from_volts(1.20), 60.0);
+        assert!((hi / lo - 1.2 / 0.92).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fit_recovers_generated_parameters() {
+        let truth = LeakageModel::exynos5410_big();
+        let v = Voltage::from_volts(1.2);
+        let dyn_const = 0.31;
+        let samples: Vec<(f64, f64)> = (0..9)
+            .map(|i| {
+                let t = 40.0 + 5.0 * i as f64;
+                (t, truth.power_w(v, t) + dyn_const)
+            })
+            .collect();
+        let fitted = LeakageModel::fit_from_furnace(&samples, v, dyn_const).unwrap();
+        for t in [40.0, 55.0, 70.0, 80.0] {
+            let err = (fitted.power_w(v, t) - truth.power_w(v, t)).abs();
+            assert!(err < 0.005, "fit error {err} W at {t} degC");
+        }
+    }
+
+    #[test]
+    fn fit_tolerates_measurement_noise() {
+        let truth = LeakageModel::exynos5410_big();
+        let v = Voltage::from_volts(1.2);
+        let samples: Vec<(f64, f64)> = (0..9)
+            .map(|i| {
+                let t = 40.0 + 5.0 * i as f64;
+                // Deterministic +-5 mW "noise".
+                let noise = if i % 2 == 0 { 0.005 } else { -0.005 };
+                (t, truth.power_w(v, t) + 0.31 + noise)
+            })
+            .collect();
+        let fitted = LeakageModel::fit_from_furnace(&samples, v, 0.31).unwrap();
+        for t in [45.0, 65.0, 75.0] {
+            let rel = (fitted.power_w(v, t) - truth.power_w(v, t)).abs() / truth.power_w(v, t);
+            assert!(rel < 0.15, "relative fit error {rel} at {t} degC");
+        }
+    }
+
+    #[test]
+    fn fit_rejects_too_few_samples() {
+        let err = LeakageModel::fit_from_furnace(
+            &[(40.0, 0.4), (50.0, 0.45)],
+            Voltage::from_volts(1.2),
+            0.3,
+        )
+        .unwrap_err();
+        assert!(matches!(err, PowerError::InsufficientData { .. }));
+    }
+
+    #[test]
+    fn fit_rejects_non_positive_voltage_and_negative_dynamic() {
+        let samples = [(40.0, 0.4), (50.0, 0.45), (60.0, 0.5), (70.0, 0.55)];
+        assert!(
+            LeakageModel::fit_from_furnace(&samples, Voltage::from_volts(0.0), 0.3).is_err()
+        );
+        assert!(
+            LeakageModel::fit_from_furnace(&samples, Voltage::from_volts(1.2), -0.1).is_err()
+        );
+    }
+
+    #[test]
+    fn kelvin_conversion() {
+        assert!((celsius_to_kelvin(0.0) - 273.15).abs() < 1e-12);
+        assert!((celsius_to_kelvin(40.0) - 313.15).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,76 @@
+//! Error type for the simulation crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building or running a simulation.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// A configuration value was invalid.
+    InvalidConfig(&'static str),
+    /// The platform model rejected a state or parameter.
+    Platform(String),
+    /// The thermal plant failed to integrate.
+    Thermal(String),
+    /// Power-model characterisation failed.
+    Power(String),
+    /// System identification failed.
+    Identification(String),
+    /// The DTPM policy failed.
+    Dtpm(String),
+    /// Writing an output file (CSV trace) failed.
+    Io(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InvalidConfig(msg) => write!(f, "invalid simulation configuration: {msg}"),
+            SimError::Platform(msg) => write!(f, "platform error: {msg}"),
+            SimError::Thermal(msg) => write!(f, "thermal plant error: {msg}"),
+            SimError::Power(msg) => write!(f, "power model error: {msg}"),
+            SimError::Identification(msg) => write!(f, "system identification error: {msg}"),
+            SimError::Dtpm(msg) => write!(f, "DTPM policy error: {msg}"),
+            SimError::Io(msg) => write!(f, "i/o error: {msg}"),
+        }
+    }
+}
+
+impl Error for SimError {}
+
+impl From<soc_model::SocError> for SimError {
+    fn from(e: soc_model::SocError) -> Self {
+        SimError::Platform(e.to_string())
+    }
+}
+
+impl From<thermal_model::ThermalError> for SimError {
+    fn from(e: thermal_model::ThermalError) -> Self {
+        SimError::Thermal(e.to_string())
+    }
+}
+
+impl From<power_model::PowerError> for SimError {
+    fn from(e: power_model::PowerError) -> Self {
+        SimError::Power(e.to_string())
+    }
+}
+
+impl From<sysid::SysIdError> for SimError {
+    fn from(e: sysid::SysIdError) -> Self {
+        SimError::Identification(e.to_string())
+    }
+}
+
+impl From<dtpm::DtpmError> for SimError {
+    fn from(e: dtpm::DtpmError) -> Self {
+        SimError::Dtpm(e.to_string())
+    }
+}
+
+impl From<std::io::Error> for SimError {
+    fn from(e: std::io::Error) -> Self {
+        SimError::Io(e.to_string())
+    }
+}

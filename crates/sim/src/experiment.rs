@@ -1,0 +1,380 @@
+//! Experimental configurations and the closed-loop simulation engine.
+//!
+//! Section 6.2 of the paper evaluates every benchmark under several
+//! configurations; [`ExperimentKind`] reproduces them:
+//!
+//! * **Default configuration (with fan)** — stock governors plus the board's
+//!   fan controller (57/63/68 °C).
+//! * **Without fan** — stock governors, fan removed, no thermal management.
+//! * **Reactive heuristic** — fan removed; a software throttler that mimics
+//!   the fan control by cutting the frequency 18 %/25 % past 63/68 °C.
+//! * **Proposed DTPM** — fan removed; the predictive DTPM algorithm using the
+//!   identified thermal model and the run-time power model.
+
+use dtpm::{DtpmConfig, DtpmInputs, DtpmPolicy};
+use governors::{
+    CpufreqGovernor, FanController, GovernorInput, HotplugGovernor, OndemandGovernor,
+    ReactiveThrottler,
+};
+use power_model::PowerModel;
+use serde::{Deserialize, Serialize};
+use soc_model::{ClusterKind, FanLevel, Frequency, PlatformState, PowerDomain, SocSpec};
+use workload::{BenchmarkId, Demand, WorkloadState};
+
+use crate::calibrate::Calibration;
+use crate::plant::{PhysicalPlant, PlantPowerParams};
+use crate::sensors::{SensorReadings, SensorSuite};
+use crate::trace::{Trace, TraceRecord};
+use crate::SimError;
+
+/// The experimental configurations of Section 6.2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ExperimentKind {
+    /// Stock governors with the board fan enabled (the paper's baseline).
+    DefaultWithFan,
+    /// Stock governors with the fan removed and no thermal management at all.
+    WithoutFan,
+    /// Fan removed; reactive throttling heuristic mimicking the fan control.
+    Reactive,
+    /// Fan removed; the proposed predictive DTPM algorithm.
+    Dtpm,
+}
+
+impl ExperimentKind {
+    /// All four configurations.
+    pub const ALL: [ExperimentKind; 4] = [
+        ExperimentKind::DefaultWithFan,
+        ExperimentKind::WithoutFan,
+        ExperimentKind::Reactive,
+        ExperimentKind::Dtpm,
+    ];
+
+    /// Short name used in tables and CSV output.
+    pub fn name(self) -> &'static str {
+        match self {
+            ExperimentKind::DefaultWithFan => "default-with-fan",
+            ExperimentKind::WithoutFan => "without-fan",
+            ExperimentKind::Reactive => "reactive",
+            ExperimentKind::Dtpm => "dtpm",
+        }
+    }
+}
+
+impl std::fmt::Display for ExperimentKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+/// Configuration of one benchmark run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentConfig {
+    /// Which thermal-management configuration to run.
+    pub kind: ExperimentKind,
+    /// Which benchmark to execute.
+    pub benchmark: BenchmarkId,
+    /// Random seed for workload jitter and sensor noise.
+    pub seed: u64,
+    /// Control interval (the kernel invokes the governors every 100 ms).
+    pub control_period_s: f64,
+    /// Safety cap on the simulated duration (a real run is stopped early when
+    /// temperatures run away, exactly like the paper's without-fan runs).
+    pub max_duration_s: f64,
+    /// Ambient temperature, °C.
+    pub ambient_c: f64,
+    /// DTPM algorithm configuration (only used by [`ExperimentKind::Dtpm`]).
+    pub dtpm: DtpmConfig,
+    /// Plant (true silicon) parameters.
+    pub plant: PlantPowerParams,
+    /// Use ideal (noise-free) sensors instead of the realistic sensor chain.
+    pub ideal_sensors: bool,
+}
+
+impl ExperimentConfig {
+    /// A configuration with the paper's defaults for the given kind and
+    /// benchmark.
+    pub fn new(kind: ExperimentKind, benchmark: BenchmarkId) -> Self {
+        ExperimentConfig {
+            kind,
+            benchmark,
+            seed: 1,
+            control_period_s: 0.1,
+            max_duration_s: 600.0,
+            ambient_c: 28.0,
+            dtpm: DtpmConfig::default(),
+            plant: PlantPowerParams::default(),
+            ideal_sensors: false,
+        }
+    }
+
+    /// Returns the configuration with a different seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Outcome of one benchmark run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimulationResult {
+    /// The configuration that produced this result.
+    pub config: ExperimentConfig,
+    /// Per-interval trace.
+    pub trace: Trace,
+    /// Execution time of the benchmark, seconds (equal to the duration cap if
+    /// the benchmark did not finish).
+    pub execution_time_s: f64,
+    /// Whether the benchmark ran to completion within the duration cap.
+    pub completed: bool,
+    /// Mean total platform power over the run, watts.
+    pub mean_platform_power_w: f64,
+    /// Total platform energy over the run, joules.
+    pub energy_j: f64,
+}
+
+/// The closed-loop simulation of one benchmark run.
+#[derive(Debug)]
+pub struct Experiment {
+    config: ExperimentConfig,
+    spec: SocSpec,
+    plant: PhysicalPlant,
+    sensors: SensorSuite,
+    workload: WorkloadState,
+    governor: OndemandGovernor,
+    hotplug: HotplugGovernor,
+    fan: FanController,
+    reactive: ReactiveThrottler,
+    dtpm_policy: Option<DtpmPolicy>,
+    power_model: PowerModel,
+    state: PlatformState,
+}
+
+impl Experiment {
+    /// Builds an experiment from its configuration and the characterised
+    /// models (power model + identified thermal predictor).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] for non-physical timing parameters.
+    pub fn new(config: ExperimentConfig, calibration: &Calibration) -> Result<Self, SimError> {
+        if !(config.control_period_s > 0.0) {
+            return Err(SimError::InvalidConfig("control period must be positive"));
+        }
+        if !(config.max_duration_s > config.control_period_s) {
+            return Err(SimError::InvalidConfig(
+                "maximum duration must exceed the control period",
+            ));
+        }
+        let spec = SocSpec::odroid_xu_e().with_ambient_c(config.ambient_c);
+        let plant = PhysicalPlant::new(spec.clone(), config.plant);
+        let sensors = if config.ideal_sensors {
+            SensorSuite::ideal(config.seed)
+        } else {
+            SensorSuite::odroid_defaults(config.seed)
+        };
+        let workload = WorkloadState::new(config.benchmark, config.seed.wrapping_mul(31).wrapping_add(7));
+        let fan = match config.kind {
+            ExperimentKind::DefaultWithFan => FanController::odroid_default(),
+            _ => FanController::disabled(),
+        };
+        let dtpm_policy = match config.kind {
+            ExperimentKind::Dtpm => Some(DtpmPolicy::new(config.dtpm, calibration.predictor.clone())),
+            _ => None,
+        };
+        let state = PlatformState::default_for(&spec);
+        Ok(Experiment {
+            config,
+            spec,
+            plant,
+            sensors,
+            workload,
+            governor: OndemandGovernor::default(),
+            hotplug: HotplugGovernor::exynos_default(),
+            fan,
+            reactive: ReactiveThrottler::paper_default(),
+            dtpm_policy,
+            power_model: calibration.power_model.clone(),
+            state,
+        })
+    }
+
+    /// The default (stock governor) proposal for the next interval: the big
+    /// cluster stays active, `ondemand` picks the frequency from the load,
+    /// the hotplug governor picks the core count and a simple GPU governor
+    /// tracks GPU utilisation.
+    fn default_proposal(&mut self, demand: &Demand) -> PlatformState {
+        let mut proposal = self.state.clone();
+        // The stock switcher prefers the big cluster whenever there is
+        // foreground load (all paper benchmarks run on the big cores).
+        proposal.active_cluster = ClusterKind::Big;
+
+        // Frequency from ondemand: the load is the busy fraction of the most
+        // loaded core over the last interval.
+        let load = demand.cpu_streams.min(1.0);
+        let freq = self.governor.select_frequency(
+            &GovernorInput {
+                load,
+                current: proposal.big_frequency,
+            },
+            self.spec.big_opps(),
+        );
+        proposal.big_frequency = freq;
+
+        // Core count from the hotplug governor.
+        let online_target = self
+            .hotplug
+            .select_core_count(demand.cpu_streams, proposal.online_core_count(ClusterKind::Big));
+        for core in 0..4 {
+            proposal.set_core_online(ClusterKind::Big, core, core < online_target);
+        }
+
+        // GPU frequency follows GPU utilisation.
+        let gpu_opps = self.spec.gpu_opps();
+        proposal.gpu_frequency = if demand.gpu_utilization > 0.05 {
+            let target_mhz =
+                gpu_opps.highest().frequency.mhz() as f64 * demand.gpu_utilization.clamp(0.0, 1.0)
+                    / 0.85;
+            gpu_opps.ceil(Frequency::from_mhz(target_mhz.ceil() as u32)).frequency
+        } else {
+            gpu_opps.lowest().frequency
+        };
+        proposal
+    }
+
+    /// Runs the experiment to completion and returns the result.
+    ///
+    /// # Errors
+    ///
+    /// Propagates plant, platform and DTPM errors.
+    pub fn run(mut self) -> Result<SimulationResult, SimError> {
+        let control_period = self.config.control_period_s;
+        let max_steps = (self.config.max_duration_s / control_period).ceil() as usize;
+        let mut trace = Trace::new();
+        let mut time_s = 0.0;
+        let mut energy_j = 0.0;
+        let mut completed = false;
+
+        // Bootstrap sensor readings from the initial plant state.
+        let mut readings: SensorReadings = {
+            let temps = self.plant.core_temps_c();
+            self.sensors
+                .sample(temps, &power_model::DomainPower::default(), self.config.plant.board_base_w)
+        };
+
+        for _ in 0..max_steps {
+            let demand = self.workload.demand();
+            let proposal = self.default_proposal(&demand);
+
+            // Configuration-specific thermal management.
+            let mut predicted_peak_c = None;
+            let mut intervened = false;
+            let next_state = match self.config.kind {
+                ExperimentKind::DefaultWithFan | ExperimentKind::WithoutFan => proposal,
+                ExperimentKind::Reactive => {
+                    let mut state = proposal;
+                    let throttled = self.reactive.apply(
+                        readings.max_core_temp_c(),
+                        state.big_frequency,
+                        self.spec.big_opps(),
+                    );
+                    intervened = throttled != state.big_frequency;
+                    state.big_frequency = throttled;
+                    state
+                }
+                ExperimentKind::Dtpm => {
+                    // Feed the run-time power model with the latest sensor data
+                    // (Figure 4.4) before making the decision.
+                    let active = self.state.active_cluster;
+                    let active_freq = self.state.cluster_frequency(active);
+                    let active_volts = self.spec.cluster_opps(active).voltage_for(active_freq)?;
+                    self.power_model.observe(
+                        PowerDomain::from_cluster(active),
+                        readings.domain_power[PowerDomain::from_cluster(active)],
+                        readings.max_core_temp_c(),
+                        active_volts,
+                        active_freq,
+                    );
+                    let gpu_volts = self.spec.gpu_opps().voltage_for(self.state.gpu_frequency)?;
+                    self.power_model.observe(
+                        PowerDomain::Gpu,
+                        readings.domain_power[PowerDomain::Gpu],
+                        readings.max_core_temp_c(),
+                        gpu_volts,
+                        self.state.gpu_frequency,
+                    );
+
+                    let policy = self
+                        .dtpm_policy
+                        .as_mut()
+                        .expect("DTPM configuration always constructs a policy");
+                    let decision = policy.decide(
+                        &DtpmInputs {
+                            spec: &self.spec,
+                            proposed: proposal,
+                            core_temps_c: readings.core_temps_c,
+                            measured_power: readings.domain_power,
+                        },
+                        &self.power_model,
+                    )?;
+                    predicted_peak_c = Some(decision.predicted_peak_c);
+                    intervened = decision.action != dtpm::DtpmAction::Affirmed;
+                    decision.state
+                }
+            };
+
+            // Fan control (only meaningful in the default configuration).
+            let fan_level: FanLevel = self.fan.update(readings.max_core_temp_c());
+            self.state = next_state;
+            self.state.fan_level = fan_level;
+
+            // Advance the physical plant over the interval.
+            let step = self.plant.step_interval(
+                &self.state,
+                &demand,
+                fan_level,
+                self.config.ambient_c,
+                control_period,
+            )?;
+            self.workload.advance(step.work_done);
+            time_s += control_period;
+            energy_j += step.platform_power_w * control_period;
+
+            // Sample the sensors for the next interval's decisions.
+            readings = self.sensors.sample(
+                step.core_temps_c,
+                &step.domain_power,
+                step.platform_power_w,
+            );
+
+            trace.push(TraceRecord {
+                time_s,
+                core_temps_c: readings.core_temps_c,
+                active_cluster: self.state.active_cluster,
+                frequency_mhz: self.state.active_frequency().mhz(),
+                online_cores: self.state.active_online_core_count(),
+                gpu_frequency_mhz: self.state.gpu_frequency.mhz(),
+                fan_level,
+                domain_power: readings.domain_power,
+                platform_power_w: readings.platform_power_w,
+                progress: self.workload.progress(),
+                predicted_peak_c,
+                dtpm_intervened: intervened,
+            });
+
+            if self.workload.is_complete() {
+                completed = true;
+                break;
+            }
+        }
+
+        let mean_platform_power_w = trace.mean_platform_power_w();
+        Ok(SimulationResult {
+            config: self.config,
+            trace,
+            execution_time_s: time_s,
+            completed,
+            mean_platform_power_w,
+            energy_j,
+        })
+    }
+}

@@ -1,0 +1,68 @@
+//! Closed-loop co-simulation of the Odroid-XU+E platform.
+//!
+//! This crate stands in for the physical test bench of the paper (Figure 6.1):
+//! the Odroid-XU+E board, its power/temperature sensors, the external power
+//! meter, the temperature furnace and the Android software stack. It wires the
+//! substrate crates into a closed loop running at the kernel's 100 ms control
+//! interval:
+//!
+//! ```text
+//!  workload ──► governors (ondemand + hotplug) ──► proposed configuration
+//!                                                        │
+//!            DTPM / fan / reactive baseline  ◄── sensors ─┤
+//!                     │                                   │
+//!                     ▼                                   │
+//!  platform state ──► physical plant (power + RC thermal network) ──► sensors
+//! ```
+//!
+//! * [`plant`] — the "silicon": converts the platform state and workload
+//!   demand into true per-domain powers (with parameters deliberately
+//!   different from the characterised power model) and integrates the
+//!   eight-node RC thermal network.
+//! * [`sensors`] — sampling, quantisation and noise for the on-board sensors
+//!   and the external power meter.
+//! * [`experiment`] — the four experimental configurations of Section 6.2
+//!   (default with fan, without fan, reactive heuristic, proposed DTPM) and
+//!   the simulation engine that runs a benchmark under one of them.
+//! * [`calibrate`] — the characterisation campaign: the furnace sweep for the
+//!   leakage model and the per-domain PRBS experiments for system
+//!   identification, producing the [`dtpm::ThermalPredictor`] the DTPM
+//!   configuration uses.
+//! * [`trace`], [`metrics`] — per-interval logging, CSV export and the
+//!   power/performance/stability summaries the figures are built from.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use platform_sim::{CalibrationCampaign, Experiment, ExperimentConfig, ExperimentKind};
+//! use workload::BenchmarkId;
+//!
+//! # fn main() -> Result<(), platform_sim::SimError> {
+//! // Characterise the platform once (furnace + PRBS identification)...
+//! let calibration = CalibrationCampaign::default().run(7)?;
+//! // ...then run Temple Run under the proposed DTPM policy.
+//! let config = ExperimentConfig::new(ExperimentKind::Dtpm, BenchmarkId::Templerun);
+//! let result = Experiment::new(config, &calibration)?.run()?;
+//! println!("execution time: {:.1} s", result.execution_time_s);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod calibrate;
+pub mod error;
+pub mod experiment;
+pub mod metrics;
+pub mod plant;
+pub mod sensors;
+pub mod trace;
+
+pub use calibrate::{Calibration, CalibrationCampaign};
+pub use error::SimError;
+pub use experiment::{Experiment, ExperimentConfig, ExperimentKind, SimulationResult};
+pub use metrics::{BenchmarkComparison, StabilityReport};
+pub use plant::{PhysicalPlant, PlantPowerParams};
+pub use sensors::{SensorReadings, SensorSuite};
+pub use trace::{Trace, TraceRecord};

@@ -1,0 +1,199 @@
+//! Cross-configuration metrics: power savings, performance loss, stability.
+
+use numeric::Summary;
+use serde::{Deserialize, Serialize};
+
+use crate::experiment::SimulationResult;
+
+/// Thermal stability metrics of one run (the quantities behind Figure 6.5).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StabilityReport {
+    /// Mean of the maximum core temperature, °C.
+    pub mean_temp_c: f64,
+    /// Max–min spread of the maximum core temperature, °C.
+    pub temp_range_c: f64,
+    /// Variance of the maximum core temperature, °C².
+    pub temp_variance: f64,
+    /// Absolute peak temperature reached, °C.
+    pub peak_temp_c: f64,
+}
+
+impl StabilityReport {
+    /// Computes the stability metrics from a run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run's trace is empty.
+    pub fn of(result: &SimulationResult) -> StabilityReport {
+        Self::of_steady_portion(result, 0.0)
+    }
+
+    /// Computes the stability metrics over the *regulated* portion of a run,
+    /// skipping the first `skip_fraction` of the trace. The paper's thermal
+    /// stability comparison (Figure 6.5) looks at how the temperature behaves
+    /// once the thermal management is engaged, not at the initial warm-up
+    /// ramp shared by all configurations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace is empty or `skip_fraction` is not within `[0, 1)`.
+    pub fn of_steady_portion(result: &SimulationResult, skip_fraction: f64) -> StabilityReport {
+        assert!(
+            (0.0..1.0).contains(&skip_fraction),
+            "skip fraction must be in [0, 1)"
+        );
+        let series = result.trace.max_temp_series();
+        let start = ((series.len() as f64) * skip_fraction).floor() as usize;
+        let window = &series[start.min(series.len() - 1)..];
+        let summary: Summary = Summary::of(window);
+        StabilityReport {
+            mean_temp_c: summary.mean,
+            temp_range_c: summary.range(),
+            temp_variance: summary.variance,
+            peak_temp_c: summary.max,
+        }
+    }
+}
+
+/// Comparison of one configuration against a baseline run of the same
+/// benchmark (the quantities behind Figures 6.9 and 6.10).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BenchmarkComparison {
+    /// Platform power saving relative to the baseline, percent (positive =
+    /// the evaluated configuration uses less power).
+    pub power_saving_percent: f64,
+    /// Performance loss relative to the baseline, percent (positive = the
+    /// evaluated configuration takes longer).
+    pub performance_loss_percent: f64,
+    /// Reduction factor of the temperature variance (baseline variance divided
+    /// by the evaluated configuration's variance; >1 means more stable).
+    pub variance_reduction_factor: f64,
+    /// Reduction of the max–min temperature spread, °C.
+    pub range_reduction_c: f64,
+}
+
+impl BenchmarkComparison {
+    /// Compares `evaluated` against `baseline` (both runs of the same
+    /// benchmark).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either trace is empty.
+    pub fn against_baseline(
+        baseline: &SimulationResult,
+        evaluated: &SimulationResult,
+    ) -> BenchmarkComparison {
+        let base_power = baseline.mean_platform_power_w;
+        let eval_power = evaluated.mean_platform_power_w;
+        let power_saving_percent = if base_power > 0.0 {
+            100.0 * (base_power - eval_power) / base_power
+        } else {
+            0.0
+        };
+        let performance_loss_percent = if baseline.execution_time_s > 0.0 {
+            100.0 * (evaluated.execution_time_s - baseline.execution_time_s)
+                / baseline.execution_time_s
+        } else {
+            0.0
+        };
+        let base_stability = StabilityReport::of(baseline);
+        let eval_stability = StabilityReport::of(evaluated);
+        let variance_reduction_factor = if eval_stability.temp_variance > 1e-9 {
+            base_stability.temp_variance / eval_stability.temp_variance
+        } else {
+            f64::INFINITY
+        };
+        BenchmarkComparison {
+            power_saving_percent,
+            performance_loss_percent,
+            variance_reduction_factor,
+            range_reduction_c: base_stability.temp_range_c - eval_stability.temp_range_c,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::{ExperimentConfig, ExperimentKind, SimulationResult};
+    use crate::trace::{Trace, TraceRecord};
+    use power_model::DomainPower;
+    use soc_model::{ClusterKind, FanLevel};
+    use workload::BenchmarkId;
+
+    fn synthetic_result(
+        kind: ExperimentKind,
+        temps: &[f64],
+        power_w: f64,
+        execution_time_s: f64,
+    ) -> SimulationResult {
+        let mut trace = Trace::new();
+        for (k, &t) in temps.iter().enumerate() {
+            trace.push(TraceRecord {
+                time_s: k as f64 * 0.1,
+                core_temps_c: [t, t - 0.5, t - 1.0, t - 0.2],
+                active_cluster: ClusterKind::Big,
+                frequency_mhz: 1600,
+                online_cores: 4,
+                gpu_frequency_mhz: 177,
+                fan_level: FanLevel::Off,
+                domain_power: DomainPower::new(power_w - 2.0, 0.05, 0.1, 0.4),
+                platform_power_w: power_w,
+                progress: 0.5,
+                predicted_peak_c: None,
+                dtpm_intervened: false,
+            });
+        }
+        SimulationResult {
+            config: ExperimentConfig::new(kind, BenchmarkId::Basicmath),
+            trace,
+            execution_time_s,
+            completed: true,
+            mean_platform_power_w: power_w,
+            energy_j: power_w * execution_time_s,
+        }
+    }
+
+    #[test]
+    fn stability_report_reflects_temperature_swings() {
+        let swingy = synthetic_result(
+            ExperimentKind::DefaultWithFan,
+            &[55.0, 65.0, 55.0, 65.0, 55.0, 65.0],
+            6.0,
+            100.0,
+        );
+        let steady = synthetic_result(ExperimentKind::Dtpm, &[62.0, 62.5, 62.2, 62.4], 5.2, 104.0);
+        let swingy_report = StabilityReport::of(&swingy);
+        let steady_report = StabilityReport::of(&steady);
+        assert!(swingy_report.temp_variance > 5.0 * steady_report.temp_variance);
+        assert!(swingy_report.temp_range_c > steady_report.temp_range_c);
+        assert!(swingy_report.peak_temp_c >= steady_report.peak_temp_c);
+    }
+
+    #[test]
+    fn comparison_computes_savings_and_loss() {
+        let baseline = synthetic_result(
+            ExperimentKind::DefaultWithFan,
+            &[55.0, 60.0, 65.0, 60.0],
+            6.0,
+            100.0,
+        );
+        let dtpm = synthetic_result(ExperimentKind::Dtpm, &[61.0, 62.0, 62.5, 62.0], 5.4, 103.3);
+        let cmp = BenchmarkComparison::against_baseline(&baseline, &dtpm);
+        assert!((cmp.power_saving_percent - 10.0).abs() < 1e-9);
+        assert!((cmp.performance_loss_percent - 3.3).abs() < 1e-9);
+        assert!(cmp.variance_reduction_factor > 1.0);
+        assert!(cmp.range_reduction_c > 0.0);
+    }
+
+    #[test]
+    fn identical_runs_compare_as_neutral() {
+        let a = synthetic_result(ExperimentKind::Dtpm, &[60.0, 61.0, 60.5], 5.0, 90.0);
+        let b = synthetic_result(ExperimentKind::Dtpm, &[60.0, 61.0, 60.5], 5.0, 90.0);
+        let cmp = BenchmarkComparison::against_baseline(&a, &b);
+        assert_eq!(cmp.power_saving_percent, 0.0);
+        assert_eq!(cmp.performance_loss_percent, 0.0);
+        assert!((cmp.variance_reduction_factor - 1.0).abs() < 1e-9);
+        assert_eq!(cmp.range_reduction_c, 0.0);
+    }
+}

@@ -1,0 +1,548 @@
+//! The physical plant: true power consumption and the RC thermal network.
+//!
+//! The plant plays the role of the silicon and the board. Its power parameters
+//! are deliberately *not* identical to the characterised values in
+//! `power-model` (a few percent off, like a real chip vs. its model), and its
+//! thermal structure (eight RC nodes) is richer than the four-state model the
+//! controller identifies, so the controller faces realistic model error.
+
+use power_model::{DomainPower, LeakageModel, LeakageParams};
+use serde::{Deserialize, Serialize};
+use soc_model::{ClusterKind, FanLevel, PlatformState, SocSpec};
+use thermal_model::ExynosThermalNetwork;
+use workload::Demand;
+
+use crate::SimError;
+
+/// "True" power parameters of the simulated silicon.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PlantPowerParams {
+    /// Effective switched capacitance of one fully-active big (A15) core, in
+    /// farads (used as `P = act·C·V²·f` per busy core).
+    pub big_core_ceff_f: f64,
+    /// Cluster-shared (L2, interconnect, clocking) switched capacitance of the
+    /// big cluster, active whenever the cluster is powered.
+    pub big_uncore_ceff_f: f64,
+    /// Effective switched capacitance of one fully-active little (A7) core.
+    pub little_core_ceff_f: f64,
+    /// Cluster-shared switched capacitance of the little cluster.
+    pub little_uncore_ceff_f: f64,
+    /// Effective switched capacitance of the GPU at full utilisation.
+    pub gpu_ceff_f: f64,
+    /// Memory power floor, in watts.
+    pub memory_base_w: f64,
+    /// Additional memory power at full memory intensity, in watts.
+    pub memory_active_w: f64,
+    /// Board power outside the measured SoC domains (display, storage, radios,
+    /// regulators), counted only by the external power meter, in watts.
+    pub board_base_w: f64,
+    /// Multiplier applied to the characterised leakage parameters to produce
+    /// the silicon's true leakage (model error on purpose).
+    pub leakage_mismatch: f64,
+    /// Fraction of leakage that remains when a cluster is power-gated.
+    pub gated_leakage_fraction: f64,
+    /// Initial temperature of every thermal node at the start of a run, °C.
+    pub initial_temp_c: f64,
+}
+
+impl Default for PlantPowerParams {
+    fn default() -> Self {
+        PlantPowerParams {
+            big_core_ceff_f: 0.46e-9,
+            big_uncore_ceff_f: 0.30e-9,
+            little_core_ceff_f: 0.065e-9,
+            little_uncore_ceff_f: 0.035e-9,
+            gpu_ceff_f: 1.1e-9,
+            memory_base_w: 0.28,
+            memory_active_w: 0.45,
+            board_base_w: 1.80,
+            leakage_mismatch: 1.06,
+            gated_leakage_fraction: 0.05,
+            initial_temp_c: 52.0,
+        }
+    }
+}
+
+/// Outcome of stepping the plant over one control interval.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlantStep {
+    /// True average power per measured domain over the interval, in watts.
+    pub domain_power: DomainPower,
+    /// True hotspot (big-core) temperatures at the end of the interval, °C.
+    pub core_temps_c: [f64; 4],
+    /// True platform power (SoC domains + board base + fan), in watts.
+    pub platform_power_w: f64,
+    /// CPU work completed during the interval, in work units.
+    pub work_done: f64,
+}
+
+/// The physical plant: thermal network state plus true power computation.
+#[derive(Debug, Clone)]
+pub struct PhysicalPlant {
+    spec: SocSpec,
+    params: PlantPowerParams,
+    thermal: ExynosThermalNetwork,
+    node_temps_c: Vec<f64>,
+    big_leak: LeakageModel,
+    little_leak: LeakageModel,
+    gpu_leak: LeakageModel,
+    mem_leak: LeakageModel,
+    /// Integration step of the plant, much finer than the control interval.
+    plant_dt_s: f64,
+}
+
+fn scaled(params: LeakageParams, factor: f64) -> LeakageModel {
+    LeakageModel::new(LeakageParams {
+        c1: params.c1 * factor,
+        c2: params.c2,
+        igate_a: params.igate_a * factor,
+    })
+}
+
+impl PhysicalPlant {
+    /// Creates a plant for the given platform at the configured initial
+    /// temperature.
+    pub fn new(spec: SocSpec, params: PlantPowerParams) -> Self {
+        let thermal = ExynosThermalNetwork::odroid_xu_e();
+        let node_count = thermal.network().node_count();
+        PhysicalPlant {
+            node_temps_c: vec![params.initial_temp_c; node_count],
+            big_leak: scaled(LeakageParams::exynos5410_big(), params.leakage_mismatch),
+            little_leak: scaled(LeakageParams::exynos5410_little(), params.leakage_mismatch),
+            gpu_leak: scaled(LeakageParams::exynos5410_gpu(), params.leakage_mismatch),
+            mem_leak: scaled(LeakageParams::exynos5410_memory(), params.leakage_mismatch),
+            spec,
+            params,
+            thermal,
+            plant_dt_s: 0.01,
+        }
+    }
+
+    /// The plant's power parameters.
+    pub fn params(&self) -> &PlantPowerParams {
+        &self.params
+    }
+
+    /// Current true hotspot temperatures, °C.
+    pub fn core_temps_c(&self) -> [f64; 4] {
+        self.thermal.hotspot_temps(&self.node_temps_c)
+    }
+
+    /// Current true temperature of every thermal node, °C.
+    pub fn node_temps_c(&self) -> &[f64] {
+        &self.node_temps_c
+    }
+
+    /// Resets every node to the given temperature (used by the furnace, which
+    /// soaks the board at the ambient setpoint).
+    pub fn reset_temps(&mut self, temp_c: f64) {
+        for t in &mut self.node_temps_c {
+            *t = temp_c;
+        }
+    }
+
+    /// True per-domain power for the given platform state and workload demand
+    /// at the current temperatures, together with per-core big powers.
+    fn domain_powers(
+        &self,
+        state: &PlatformState,
+        demand: &Demand,
+    ) -> Result<(DomainPower, [f64; 4]), SimError> {
+        let spec = &self.spec;
+        let core_temps = self.core_temps_c();
+        let case_temp = self.node_temps_c[self.thermal.case_node().0];
+
+        let mut big_core_powers = [0.0f64; 4];
+        let mut big_total = 0.0;
+        let little_total;
+
+        // Work streams are spread over the online cores of the active cluster.
+        let active = state.active_cluster;
+        let online: Vec<usize> = (0..4)
+            .filter(|&i| state.is_core_online(active, i))
+            .collect();
+        let per_core_utilisation = |slot: usize| -> f64 {
+            // Stream `slot` gets the leftover demand after earlier cores.
+            (demand.cpu_streams - slot as f64).clamp(0.0, 1.0)
+        };
+
+        match active {
+            ClusterKind::Big => {
+                let freq = state.big_frequency;
+                let volts = spec.big_opps().voltage_for(freq)?.volts();
+                let v2f = volts * volts * freq.hz();
+                // Shared/uncore power (L2, interconnect, clock tree) of the
+                // powered cluster: it dissipates on the die, so it is spread
+                // across the online core nodes for the thermal network.
+                let uncore = self.params.big_uncore_ceff_f * v2f;
+                big_total += uncore;
+                let uncore_share = if online.is_empty() {
+                    0.0
+                } else {
+                    uncore / online.len() as f64
+                };
+                for (slot, &core) in online.iter().enumerate() {
+                    let util = per_core_utilisation(slot);
+                    let dynamic =
+                        self.params.big_core_ceff_f * demand.activity_factor * util * v2f;
+                    let leak =
+                        volts * self.big_leak.current_a(core_temps[core]) / 4.0;
+                    big_core_powers[core] = dynamic + leak + uncore_share;
+                    big_total += dynamic + leak;
+                }
+                // Offline cores still leak a gated fraction.
+                for core in 0..4 {
+                    if !state.is_core_online(ClusterKind::Big, core) {
+                        let leak = volts * self.big_leak.current_a(core_temps[core]) / 4.0
+                            * self.params.gated_leakage_fraction;
+                        big_core_powers[core] += leak;
+                        big_total += leak;
+                    }
+                }
+                // The little cluster is power-gated.
+                let lv = spec.little_opps().lowest().voltage.volts();
+                little_total = lv
+                    * self.little_leak.current_a(case_temp)
+                    * self.params.gated_leakage_fraction;
+            }
+            ClusterKind::Little => {
+                let freq = state.little_frequency;
+                let volts = spec.little_opps().voltage_for(freq)?.volts();
+                let v2f = volts * volts * freq.hz();
+                little_total = self.params.little_uncore_ceff_f * v2f
+                    + lv_cluster_dynamic(
+                        self.params.little_core_ceff_f,
+                        demand,
+                        &online,
+                        v2f,
+                        per_core_utilisation,
+                    )
+                    + volts * self.little_leak.current_a(case_temp);
+                // Big cluster gated: residual leakage only, split across cores.
+                let bv = spec.big_opps().lowest().voltage.volts();
+                for core in 0..4 {
+                    let leak = bv * self.big_leak.current_a(core_temps[core]) / 4.0
+                        * self.params.gated_leakage_fraction;
+                    big_core_powers[core] = leak;
+                    big_total += leak;
+                }
+            }
+        }
+
+        // GPU.
+        let gpu_temp = self.node_temps_c[self.thermal.gpu_node().0];
+        let gpu_volts = spec.gpu_opps().voltage_for(state.gpu_frequency)?.volts();
+        let gpu_dynamic = self.params.gpu_ceff_f
+            * demand.gpu_utilization
+            * gpu_volts
+            * gpu_volts
+            * state.gpu_frequency.hz();
+        let gpu_power = gpu_dynamic + gpu_volts * self.gpu_leak.current_a(gpu_temp);
+
+        // Memory.
+        let mem_temp = self.node_temps_c[self.thermal.memory_node().0];
+        let mem_power = self.params.memory_base_w
+            + self.params.memory_active_w * demand.memory_intensity
+            + 1.0 * self.mem_leak.current_a(mem_temp) * 0.0; // memory leakage folded into the base
+        let _ = mem_temp;
+
+        Ok((
+            DomainPower::new(big_total, little_total, gpu_power, mem_power),
+            big_core_powers,
+        ))
+    }
+
+    /// CPU work completed per second for the given state and demand.
+    ///
+    /// Real applications are not perfectly frequency-scalable: memory-bound
+    /// phases progress at (almost) the same rate regardless of the CPU clock.
+    /// The demand's `frequency_scalability` interpolates between a fully
+    /// memory-bound (0) and a fully compute-bound (1) workload, which is what
+    /// keeps the paper's performance loss small even when the DTPM algorithm
+    /// throttles the frequency.
+    fn throughput_units_per_s(&self, state: &PlatformState, demand: &Demand) -> f64 {
+        let active = state.active_cluster;
+        let online = state.online_core_count(active) as f64;
+        let streams = demand.cpu_streams.min(online);
+        let cluster = self.spec.cluster(active);
+        let freq_ghz = state.cluster_frequency(active).ghz();
+        let max_ghz = cluster.opps.highest().frequency.ghz();
+        let s = demand.frequency_scalability.clamp(0.0, 1.0);
+        let effective_ghz = max_ghz * ((1.0 - s) + s * freq_ghz / max_ghz);
+        streams * effective_ghz * cluster.performance_per_ghz
+    }
+
+    /// Advances the plant by one control interval of `interval_s` seconds with
+    /// the platform state, workload demand and fan level held constant.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the platform state uses unsupported frequencies or
+    /// the thermal integration fails.
+    pub fn step_interval(
+        &mut self,
+        state: &PlatformState,
+        demand: &Demand,
+        fan_level: FanLevel,
+        ambient_c: f64,
+        interval_s: f64,
+    ) -> Result<PlantStep, SimError> {
+        if !(interval_s > 0.0) {
+            return Err(SimError::InvalidConfig("control interval must be positive"));
+        }
+        let fan_boost = self.spec.fan().conductance_boost_w_per_k(fan_level);
+        let network = self.thermal.network_with_fan_boost(fan_boost);
+
+        let steps = (interval_s / self.plant_dt_s).round().max(1.0) as usize;
+        let mut power_accum = DomainPower::default();
+        for _ in 0..steps {
+            let (domains, big_cores) = self.domain_powers(state, demand)?;
+            power_accum = power_accum + domains;
+            let node_powers = self.thermal.power_vector(
+                &big_cores,
+                domains.little_w,
+                domains.gpu_w,
+                domains.memory_w,
+            );
+            self.node_temps_c =
+                network.step(&self.node_temps_c, &node_powers, ambient_c, self.plant_dt_s)?;
+        }
+        let scale = 1.0 / steps as f64;
+        let domain_power = DomainPower::new(
+            power_accum.big_w * scale,
+            power_accum.little_w * scale,
+            power_accum.gpu_w * scale,
+            power_accum.memory_w * scale,
+        );
+        let fan_power = self.spec.fan().power_w(fan_level);
+        let platform_power_w = domain_power.total() + self.params.board_base_w + fan_power;
+        let work_done = self.throughput_units_per_s(state, demand) * interval_s;
+
+        Ok(PlantStep {
+            domain_power,
+            core_temps_c: self.core_temps_c(),
+            platform_power_w,
+            work_done,
+        })
+    }
+}
+
+fn lv_cluster_dynamic(
+    core_ceff: f64,
+    demand: &Demand,
+    online: &[usize],
+    v2f: f64,
+    per_core_utilisation: impl Fn(usize) -> f64,
+) -> f64 {
+    online
+        .iter()
+        .enumerate()
+        .map(|(slot, _)| core_ceff * demand.activity_factor * per_core_utilisation(slot) * v2f)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soc_model::Frequency;
+
+    fn busy_demand() -> Demand {
+        Demand {
+            cpu_streams: 4.0,
+            activity_factor: 0.95,
+            gpu_utilization: 0.0,
+            memory_intensity: 0.5,
+            frequency_scalability: 1.0,
+        }
+    }
+
+    fn light_demand() -> Demand {
+        Demand {
+            cpu_streams: 1.0,
+            activity_factor: 0.45,
+            gpu_utilization: 0.0,
+            memory_intensity: 0.2,
+            frequency_scalability: 1.0,
+        }
+    }
+
+    fn plant() -> PhysicalPlant {
+        PhysicalPlant::new(SocSpec::odroid_xu_e(), PlantPowerParams::default())
+    }
+
+    #[test]
+    fn heavy_load_draws_several_watts_and_heats_up() {
+        let spec = SocSpec::odroid_xu_e();
+        let mut plant = plant();
+        let state = PlatformState::default_for(&spec);
+        let step = plant
+            .step_interval(&state, &busy_demand(), FanLevel::Off, 28.0, 0.1)
+            .unwrap();
+        // A fully loaded A15 cluster draws somewhere around 3.5-6 W.
+        assert!(
+            (3.0..7.0).contains(&step.domain_power.big_w),
+            "big cluster power {}",
+            step.domain_power.big_w
+        );
+        assert!(step.platform_power_w > step.domain_power.total());
+        assert!(step.work_done > 0.0);
+        // Run for a simulated minute and confirm the cores heat up markedly.
+        for _ in 0..600 {
+            plant
+                .step_interval(&state, &busy_demand(), FanLevel::Off, 28.0, 0.1)
+                .unwrap();
+        }
+        let hottest = plant.core_temps_c().into_iter().fold(f64::MIN, f64::max);
+        assert!(hottest > 60.0, "hottest core after 60 s: {hottest}");
+    }
+
+    #[test]
+    fn light_load_draws_much_less_power() {
+        let spec = SocSpec::odroid_xu_e();
+        let mut plant = plant();
+        let state = PlatformState::default_for(&spec);
+        let heavy = plant
+            .step_interval(&state, &busy_demand(), FanLevel::Off, 28.0, 0.1)
+            .unwrap();
+        let light = plant
+            .step_interval(&state, &light_demand(), FanLevel::Off, 28.0, 0.1)
+            .unwrap();
+        assert!(light.domain_power.big_w < 0.5 * heavy.domain_power.big_w);
+    }
+
+    #[test]
+    fn lower_frequency_reduces_power_and_throughput() {
+        let spec = SocSpec::odroid_xu_e();
+        let mut plant = plant();
+        let mut state = PlatformState::default_for(&spec);
+        let fast = plant
+            .step_interval(&state, &busy_demand(), FanLevel::Off, 28.0, 0.1)
+            .unwrap();
+        state.set_cluster_frequency(ClusterKind::Big, Frequency::from_mhz(800));
+        let slow = plant
+            .step_interval(&state, &busy_demand(), FanLevel::Off, 28.0, 0.1)
+            .unwrap();
+        assert!(slow.domain_power.big_w < 0.55 * fast.domain_power.big_w);
+        assert!((slow.work_done - fast.work_done * 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fan_cools_the_cores() {
+        let spec = SocSpec::odroid_xu_e();
+        let state = PlatformState::default_for(&spec);
+        let mut no_fan = plant();
+        let mut with_fan = plant();
+        for _ in 0..1200 {
+            no_fan
+                .step_interval(&state, &busy_demand(), FanLevel::Off, 28.0, 0.1)
+                .unwrap();
+            with_fan
+                .step_interval(&state, &busy_demand(), FanLevel::Full, 28.0, 0.1)
+                .unwrap();
+        }
+        let hot_no_fan = no_fan.core_temps_c()[0];
+        let hot_with_fan = with_fan.core_temps_c()[0];
+        assert!(
+            hot_with_fan < hot_no_fan - 5.0,
+            "fan must cool: {hot_no_fan} vs {hot_with_fan}"
+        );
+    }
+
+    #[test]
+    fn little_cluster_uses_far_less_power_than_big() {
+        let spec = SocSpec::odroid_xu_e();
+        let mut plant = plant();
+        let mut state = PlatformState::default_for(&spec);
+        let big = plant
+            .step_interval(&state, &busy_demand(), FanLevel::Off, 28.0, 0.1)
+            .unwrap();
+        state.migrate_to_cluster(ClusterKind::Little, Frequency::from_mhz(1200));
+        let little = plant
+            .step_interval(&state, &busy_demand(), FanLevel::Off, 28.0, 0.1)
+            .unwrap();
+        let big_cpu_total = big.domain_power.big_w + big.domain_power.little_w;
+        let little_cpu_total = little.domain_power.big_w + little.domain_power.little_w;
+        assert!(little_cpu_total < 0.35 * big_cpu_total);
+        // The big cluster also delivers more work per interval.
+        assert!(big.work_done > 2.0 * little.work_done);
+    }
+
+    #[test]
+    fn gpu_demand_adds_gpu_power() {
+        let spec = SocSpec::odroid_xu_e();
+        let mut plant = plant();
+        let mut state = PlatformState::default_for(&spec);
+        state.gpu_frequency = Frequency::from_mhz(533);
+        let mut demand = busy_demand();
+        demand.gpu_utilization = 0.8;
+        let with_gpu = plant
+            .step_interval(&state, &demand, FanLevel::Off, 28.0, 0.1)
+            .unwrap();
+        demand.gpu_utilization = 0.0;
+        let without_gpu = plant
+            .step_interval(&state, &demand, FanLevel::Off, 28.0, 0.1)
+            .unwrap();
+        assert!(with_gpu.domain_power.gpu_w > without_gpu.domain_power.gpu_w + 0.2);
+    }
+
+    #[test]
+    fn core_shutdown_reduces_cluster_power() {
+        let spec = SocSpec::odroid_xu_e();
+        let mut plant = plant();
+        let mut state = PlatformState::default_for(&spec);
+        let all_cores = plant
+            .step_interval(&state, &busy_demand(), FanLevel::Off, 28.0, 0.1)
+            .unwrap();
+        state.set_core_online(ClusterKind::Big, 3, false);
+        let three_cores = plant
+            .step_interval(&state, &busy_demand(), FanLevel::Off, 28.0, 0.1)
+            .unwrap();
+        assert!(three_cores.domain_power.big_w < all_cores.domain_power.big_w - 0.5);
+        assert!(three_cores.work_done < all_cores.work_done);
+    }
+
+    #[test]
+    fn dijkstra_like_load_reaches_high_fifties() {
+        // Calibration check: a low-activity benchmark should settle in the
+        // mid-to-high 50s (Figure 6.6 shows the default configuration around
+        // 57-70 degC), well below the matrix-multiplication case.
+        let spec = SocSpec::odroid_xu_e();
+        let mut plant = plant();
+        let state = PlatformState::default_for(&spec);
+        let demand = Demand {
+            cpu_streams: 1.2,
+            activity_factor: 0.50,
+            gpu_utilization: 0.0,
+            memory_intensity: 0.5,
+            frequency_scalability: 0.6,
+        };
+        for _ in 0..4000 {
+            plant
+                .step_interval(&state, &demand, FanLevel::Off, 28.0, 0.1)
+                .unwrap();
+        }
+        let hottest = plant.core_temps_c().into_iter().fold(f64::MIN, f64::max);
+        assert!(
+            (48.0..68.0).contains(&hottest),
+            "low-activity steady temperature {hottest}"
+        );
+    }
+
+    #[test]
+    fn reset_temps_resets_every_node() {
+        let mut plant = plant();
+        plant.reset_temps(60.0);
+        assert!(plant.node_temps_c().iter().all(|&t| t == 60.0));
+        assert_eq!(plant.core_temps_c(), [60.0; 4]);
+    }
+
+    #[test]
+    fn rejects_non_positive_interval() {
+        let spec = SocSpec::odroid_xu_e();
+        let mut plant = plant();
+        let state = PlatformState::default_for(&spec);
+        assert!(plant
+            .step_interval(&state, &light_demand(), FanLevel::Off, 28.0, 0.0)
+            .is_err());
+    }
+}

@@ -1,0 +1,55 @@
+//! Error type for platform-model operations.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::cluster::ClusterKind;
+
+/// Errors returned when constructing or manipulating the platform model.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SocError {
+    /// A frequency that is not one of the discrete operating points was requested.
+    UnsupportedFrequency {
+        /// The cluster or device the frequency was requested for.
+        target: &'static str,
+        /// The requested frequency in MHz.
+        requested_mhz: u32,
+    },
+    /// A core index outside the cluster was addressed.
+    InvalidCoreIndex {
+        /// The cluster addressed.
+        cluster: ClusterKind,
+        /// The offending index.
+        index: usize,
+        /// Number of cores in that cluster.
+        core_count: usize,
+    },
+    /// An operating-point table was empty or not strictly increasing.
+    InvalidOppTable(&'static str),
+    /// The platform state violates an invariant (e.g. no online core at all).
+    InvalidState(&'static str),
+}
+
+impl fmt::Display for SocError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SocError::UnsupportedFrequency {
+                target,
+                requested_mhz,
+            } => write!(f, "unsupported frequency {requested_mhz} MHz for {target}"),
+            SocError::InvalidCoreIndex {
+                cluster,
+                index,
+                core_count,
+            } => write!(
+                f,
+                "core index {index} out of range for {cluster} cluster with {core_count} cores"
+            ),
+            SocError::InvalidOppTable(msg) => write!(f, "invalid operating-point table: {msg}"),
+            SocError::InvalidState(msg) => write!(f, "invalid platform state: {msg}"),
+        }
+    }
+}
+
+impl Error for SocError {}

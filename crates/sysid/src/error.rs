@@ -1,0 +1,71 @@
+//! Error type for system-identification operations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by dataset construction, identification and validation.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SysIdError {
+    /// A sample had the wrong number of states or inputs.
+    DimensionMismatch {
+        /// What was mis-sized.
+        what: &'static str,
+        /// Expected length.
+        expected: usize,
+        /// Actual length.
+        actual: usize,
+    },
+    /// Not enough samples to identify the requested model.
+    InsufficientData {
+        /// Minimum number of samples required.
+        required: usize,
+        /// Number available.
+        provided: usize,
+    },
+    /// A configuration parameter was invalid.
+    InvalidConfig(&'static str),
+    /// The underlying numerical routine failed.
+    Numeric(String),
+    /// The identified model is unstable and `require_stable` was requested.
+    UnstableModel {
+        /// Estimated spectral radius of the identified `As`.
+        spectral_radius: f64,
+    },
+}
+
+impl fmt::Display for SysIdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SysIdError::DimensionMismatch {
+                what,
+                expected,
+                actual,
+            } => write!(f, "{what} has length {actual}, expected {expected}"),
+            SysIdError::InsufficientData { required, provided } => write!(
+                f,
+                "insufficient identification data: {provided} samples, need at least {required}"
+            ),
+            SysIdError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            SysIdError::Numeric(msg) => write!(f, "numeric failure: {msg}"),
+            SysIdError::UnstableModel { spectral_radius } => write!(
+                f,
+                "identified model is unstable (spectral radius {spectral_radius:.4})"
+            ),
+        }
+    }
+}
+
+impl Error for SysIdError {}
+
+impl From<numeric::NumericError> for SysIdError {
+    fn from(err: numeric::NumericError) -> Self {
+        SysIdError::Numeric(err.to_string())
+    }
+}
+
+impl From<thermal_model::ThermalError> for SysIdError {
+    fn from(err: thermal_model::ThermalError) -> Self {
+        SysIdError::Numeric(err.to_string())
+    }
+}

@@ -1,0 +1,54 @@
+//! Error type for thermal-model operations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by thermal-network and state-space model operations.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ThermalError {
+    /// A vector passed to the model had the wrong length.
+    DimensionMismatch {
+        /// What the vector represents.
+        what: &'static str,
+        /// Expected length.
+        expected: usize,
+        /// Actual length.
+        actual: usize,
+    },
+    /// A physical parameter was non-positive or non-finite.
+    InvalidParameter(&'static str),
+    /// The underlying linear algebra failed (singular conductance matrix, ...).
+    Numeric(String),
+    /// The model is unstable (spectral radius of `As` is not below one).
+    UnstableModel {
+        /// Estimated spectral radius of the state matrix.
+        spectral_radius: f64,
+    },
+}
+
+impl fmt::Display for ThermalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ThermalError::DimensionMismatch {
+                what,
+                expected,
+                actual,
+            } => write!(f, "{what} has length {actual}, expected {expected}"),
+            ThermalError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            ThermalError::Numeric(msg) => write!(f, "numeric failure: {msg}"),
+            ThermalError::UnstableModel { spectral_radius } => write!(
+                f,
+                "thermal model is unstable (spectral radius {spectral_radius:.4} >= 1)"
+            ),
+        }
+    }
+}
+
+impl Error for ThermalError {}
+
+impl From<numeric::NumericError> for ThermalError {
+    fn from(err: numeric::NumericError) -> Self {
+        ThermalError::Numeric(err.to_string())
+    }
+}

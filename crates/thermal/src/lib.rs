@@ -1,0 +1,48 @@
+//! Thermal modelling for the DTPM reproduction (Chapter 4.2).
+//!
+//! Two kinds of thermal model live here, mirroring the paper's methodology:
+//!
+//! * [`network::ThermalNetwork`] — a physical RC thermal network used as the
+//!   *ground-truth plant* in the simulator. Using the duality between thermal
+//!   and electrical networks, every die/package location is a capacitance and
+//!   every heat-flow path a conductance, and the temperatures obey
+//!   `C·dT/dt = −G·T + P` (Eq. 4.3). The Odroid plant instantiated by
+//!   [`network::ExynosThermalNetwork`] has eight nodes (four big cores, the
+//!   little cluster, the GPU, the memory and the board/heat-sink "case"), so it
+//!   is deliberately *richer* than the model the controller identifies.
+//!
+//! * [`state_space::DiscreteThermalModel`] — the discrete linear state-space
+//!   model `T[k+1] = As·T[k] + Bs·P[k]` (Eq. 4.4) that the paper identifies
+//!   from measurements and uses for prediction (Eq. 4.5). The DTPM controller
+//!   only ever sees this reduced model, never the plant.
+//!
+//! # Example
+//!
+//! ```
+//! use numeric::{Matrix, Vector};
+//! use thermal_model::DiscreteThermalModel;
+//!
+//! # fn main() -> Result<(), thermal_model::ThermalError> {
+//! // A 2-hotspot, 1-input toy model.
+//! let a = Matrix::from_rows(&[&[0.90, 0.05], &[0.04, 0.91]]).unwrap();
+//! let b = Matrix::from_rows(&[&[0.8], &[0.3]]).unwrap();
+//! let model = DiscreteThermalModel::new(a, b, 0.1)?;
+//! let next = model.step(
+//!     &Vector::from_slice(&[50.0, 48.0]),
+//!     &Vector::from_slice(&[2.0]),
+//! )?;
+//! assert!(next[0] > 46.0 && next[0] < 52.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod error;
+pub mod network;
+pub mod state_space;
+
+pub use error::ThermalError;
+pub use network::{ExynosThermalNetwork, NodeId, ThermalNetwork, ThermalNetworkBuilder};
+pub use state_space::DiscreteThermalModel;

@@ -1,0 +1,636 @@
+//! Ground-truth RC thermal network (the simulated silicon).
+//!
+//! Using the duality between thermal and electrical quantities, the plant is a
+//! lumped RC network: every node has a heat capacitance (J/K) and nodes are
+//! connected by thermal conductances (W/K); some nodes are additionally
+//! connected to the ambient. The node temperatures obey
+//!
+//! ```text
+//! C·dT/dt = −G·T(t) + P(t) + G_amb·T_amb        (Eq. 4.3 of the paper)
+//! ```
+//!
+//! The simulator integrates this with a fixed-step RK4 scheme at a much finer
+//! time step than the 100 ms control interval, so the controller's identified
+//! model is a genuine *reduction* of the plant, exactly as on real hardware.
+
+use serde::{Deserialize, Serialize};
+
+use numeric::{Matrix, Vector};
+
+use crate::ThermalError;
+
+/// Index of a node in a [`ThermalNetwork`].
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct NodeId(pub usize);
+
+/// Builder for a [`ThermalNetwork`].
+///
+/// # Example
+///
+/// ```
+/// use thermal_model::ThermalNetworkBuilder;
+///
+/// # fn main() -> Result<(), thermal_model::ThermalError> {
+/// let mut b = ThermalNetworkBuilder::new();
+/// let die = b.add_node("die", 0.2);
+/// let case = b.add_node("case", 8.0);
+/// b.connect(die, case, 2.0)?;
+/// b.connect_to_ambient(case, 0.07)?;
+/// let network = b.build()?;
+/// assert_eq!(network.node_count(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ThermalNetworkBuilder {
+    names: Vec<String>,
+    capacitances: Vec<f64>,
+    /// (node a, node b, conductance W/K)
+    couplings: Vec<(usize, usize, f64)>,
+    /// per-node conductance to ambient
+    ambient_conductances: Vec<f64>,
+}
+
+impl ThermalNetworkBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        ThermalNetworkBuilder::default()
+    }
+
+    /// Adds a node with the given name and heat capacitance (J/K) and returns
+    /// its id.
+    pub fn add_node(&mut self, name: &str, capacitance_j_per_k: f64) -> NodeId {
+        self.names.push(name.to_owned());
+        self.capacitances.push(capacitance_j_per_k);
+        self.ambient_conductances.push(0.0);
+        NodeId(self.names.len() - 1)
+    }
+
+    /// Connects two nodes with a thermal conductance (W/K).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError::InvalidParameter`] for unknown nodes,
+    /// self-connections or non-positive conductances.
+    pub fn connect(&mut self, a: NodeId, b: NodeId, conductance_w_per_k: f64) -> Result<(), ThermalError> {
+        if a.0 >= self.names.len() || b.0 >= self.names.len() {
+            return Err(ThermalError::InvalidParameter("unknown node id"));
+        }
+        if a == b {
+            return Err(ThermalError::InvalidParameter("cannot connect a node to itself"));
+        }
+        if !(conductance_w_per_k > 0.0) {
+            return Err(ThermalError::InvalidParameter("conductance must be positive"));
+        }
+        self.couplings.push((a.0, b.0, conductance_w_per_k));
+        Ok(())
+    }
+
+    /// Connects a node to the ambient with the given conductance (W/K).
+    /// Calling this twice for a node accumulates the conductances.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError::InvalidParameter`] for unknown nodes or
+    /// non-positive conductances.
+    pub fn connect_to_ambient(
+        &mut self,
+        node: NodeId,
+        conductance_w_per_k: f64,
+    ) -> Result<(), ThermalError> {
+        if node.0 >= self.names.len() {
+            return Err(ThermalError::InvalidParameter("unknown node id"));
+        }
+        if !(conductance_w_per_k > 0.0) {
+            return Err(ThermalError::InvalidParameter("conductance must be positive"));
+        }
+        self.ambient_conductances[node.0] += conductance_w_per_k;
+        Ok(())
+    }
+
+    /// Builds the network.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError::InvalidParameter`] if the network has no nodes,
+    /// a node has a non-positive capacitance, or no node is connected to the
+    /// ambient (the network could then not shed heat at all).
+    pub fn build(self) -> Result<ThermalNetwork, ThermalError> {
+        if self.names.is_empty() {
+            return Err(ThermalError::InvalidParameter("network has no nodes"));
+        }
+        if self.capacitances.iter().any(|&c| !(c > 0.0)) {
+            return Err(ThermalError::InvalidParameter(
+                "all node capacitances must be positive",
+            ));
+        }
+        if self.ambient_conductances.iter().all(|&g| g == 0.0) {
+            return Err(ThermalError::InvalidParameter(
+                "at least one node must be connected to the ambient",
+            ));
+        }
+        Ok(ThermalNetwork {
+            names: self.names,
+            capacitances: self.capacitances,
+            couplings: self.couplings,
+            ambient_conductances: self.ambient_conductances,
+        })
+    }
+}
+
+/// A lumped RC thermal network integrated with fixed-step RK4.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ThermalNetwork {
+    names: Vec<String>,
+    capacitances: Vec<f64>,
+    couplings: Vec<(usize, usize, f64)>,
+    ambient_conductances: Vec<f64>,
+}
+
+impl ThermalNetwork {
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Name of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node id is out of range.
+    pub fn node_name(&self, node: NodeId) -> &str {
+        &self.names[node.0]
+    }
+
+    /// Looks up a node id by name.
+    pub fn node_by_name(&self, name: &str) -> Option<NodeId> {
+        self.names.iter().position(|n| n == name).map(NodeId)
+    }
+
+    /// Additional conductance to ambient applied to `node` (used to model the
+    /// fan speeding up); returns a modified copy.
+    pub fn with_extra_ambient_conductance(&self, node: NodeId, extra_w_per_k: f64) -> Self {
+        let mut copy = self.clone();
+        if let Some(g) = copy.ambient_conductances.get_mut(node.0) {
+            *g += extra_w_per_k.max(0.0);
+        }
+        copy
+    }
+
+    /// Temperature derivative `dT/dt` for the given state, power injection and
+    /// ambient temperature.
+    fn derivative(&self, temps: &[f64], powers: &[f64], ambient_c: f64) -> Vec<f64> {
+        let n = self.node_count();
+        let mut heat_flow = vec![0.0; n];
+        // Node-to-node coupling.
+        for &(a, b, g) in &self.couplings {
+            let flow = g * (temps[b] - temps[a]);
+            heat_flow[a] += flow;
+            heat_flow[b] -= flow;
+        }
+        // Ambient exchange and power injection.
+        let mut derivative = vec![0.0; n];
+        for i in 0..n {
+            let ambient_flow = self.ambient_conductances[i] * (ambient_c - temps[i]);
+            derivative[i] = (heat_flow[i] + ambient_flow + powers[i]) / self.capacitances[i];
+        }
+        derivative
+    }
+
+    /// Advances the node temperatures by `dt` seconds using one RK4 step with
+    /// the node power injections `powers_w` (W) held constant over the step.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError::DimensionMismatch`] if the vectors have the
+    /// wrong length, or [`ThermalError::InvalidParameter`] for a non-positive
+    /// step size.
+    pub fn step(
+        &self,
+        temps_c: &[f64],
+        powers_w: &[f64],
+        ambient_c: f64,
+        dt_s: f64,
+    ) -> Result<Vec<f64>, ThermalError> {
+        let n = self.node_count();
+        if temps_c.len() != n {
+            return Err(ThermalError::DimensionMismatch {
+                what: "temperature vector",
+                expected: n,
+                actual: temps_c.len(),
+            });
+        }
+        if powers_w.len() != n {
+            return Err(ThermalError::DimensionMismatch {
+                what: "power vector",
+                expected: n,
+                actual: powers_w.len(),
+            });
+        }
+        if !(dt_s > 0.0) || !dt_s.is_finite() {
+            return Err(ThermalError::InvalidParameter("step size must be positive"));
+        }
+
+        let k1 = self.derivative(temps_c, powers_w, ambient_c);
+        let mid1: Vec<f64> = temps_c
+            .iter()
+            .zip(&k1)
+            .map(|(t, k)| t + 0.5 * dt_s * k)
+            .collect();
+        let k2 = self.derivative(&mid1, powers_w, ambient_c);
+        let mid2: Vec<f64> = temps_c
+            .iter()
+            .zip(&k2)
+            .map(|(t, k)| t + 0.5 * dt_s * k)
+            .collect();
+        let k3 = self.derivative(&mid2, powers_w, ambient_c);
+        let end: Vec<f64> = temps_c
+            .iter()
+            .zip(&k3)
+            .map(|(t, k)| t + dt_s * k)
+            .collect();
+        let k4 = self.derivative(&end, powers_w, ambient_c);
+
+        Ok((0..n)
+            .map(|i| temps_c[i] + dt_s / 6.0 * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]))
+            .collect())
+    }
+
+    /// Steady-state temperatures for constant power injections and ambient.
+    ///
+    /// Solves `G·T = P + G_amb·T_amb`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError::DimensionMismatch`] for a wrong-length power
+    /// vector or [`ThermalError::Numeric`] if the conductance matrix is
+    /// singular (no path to ambient).
+    pub fn steady_state(&self, powers_w: &[f64], ambient_c: f64) -> Result<Vec<f64>, ThermalError> {
+        let n = self.node_count();
+        if powers_w.len() != n {
+            return Err(ThermalError::DimensionMismatch {
+                what: "power vector",
+                expected: n,
+                actual: powers_w.len(),
+            });
+        }
+        let mut g = Matrix::zeros(n, n);
+        for &(a, b, cond) in &self.couplings {
+            g[(a, a)] += cond;
+            g[(b, b)] += cond;
+            g[(a, b)] -= cond;
+            g[(b, a)] -= cond;
+        }
+        let mut rhs = Vector::zeros(n);
+        for i in 0..n {
+            g[(i, i)] += self.ambient_conductances[i];
+            rhs[i] = powers_w[i] + self.ambient_conductances[i] * ambient_c;
+        }
+        Ok(g.solve(&rhs)?.into_vec())
+    }
+
+    /// The thermal capacitance of each node (J/K).
+    pub fn capacitances(&self) -> &[f64] {
+        &self.capacitances
+    }
+}
+
+/// The eight-node plant model of the Odroid-XU+E used by the simulator.
+///
+/// Nodes: the four big (A15) cores — the thermal hotspots with dedicated
+/// sensors — plus lumped nodes for the little cluster, the GPU, the memory and
+/// the board/heat-sink ("case"). Only the case exchanges heat with the ambient;
+/// the fan increases that exchange.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExynosThermalNetwork {
+    network: ThermalNetwork,
+    big_cores: [NodeId; 4],
+    little: NodeId,
+    gpu: NodeId,
+    memory: NodeId,
+    case: NodeId,
+    passive_case_conductance: f64,
+}
+
+impl ExynosThermalNetwork {
+    /// Builds the calibrated Odroid-XU+E plant.
+    ///
+    /// The parameters are chosen so the closed-loop behaviour matches the
+    /// paper's measurements in shape: without a fan a sustained ~4 W load
+    /// drives the hottest core towards ~85–90 °C within a couple of minutes
+    /// (Figure 1.1), while light loads settle in the mid-40s.
+    pub fn odroid_xu_e() -> Self {
+        let mut b = ThermalNetworkBuilder::new();
+        let big0 = b.add_node("big_core0", 0.18);
+        let big1 = b.add_node("big_core1", 0.18);
+        let big2 = b.add_node("big_core2", 0.18);
+        let big3 = b.add_node("big_core3", 0.18);
+        let little = b.add_node("little_cluster", 0.35);
+        let gpu = b.add_node("gpu", 0.30);
+        let memory = b.add_node("memory", 0.40);
+        let case = b.add_node("case", 11.0);
+
+        // Big cores sit on a 2x2 grid: 0-1 / 2-3. The relatively small
+        // conductances produce per-core gradients of a degree or two under
+        // asymmetric load, which is what the hottest-core shutdown rule of the
+        // DTPM algorithm keys on.
+        let adjacent = 0.18;
+        let diagonal = 0.09;
+        b.connect(big0, big1, adjacent).expect("valid");
+        b.connect(big2, big3, adjacent).expect("valid");
+        b.connect(big0, big2, adjacent).expect("valid");
+        b.connect(big1, big3, adjacent).expect("valid");
+        b.connect(big0, big3, diagonal).expect("valid");
+        b.connect(big1, big2, diagonal).expect("valid");
+
+        // Every active block conducts into the case / heat spreader. The
+        // junction-to-case resistance of a few K/W per core gives the fast
+        // several-degree hotspot response to power steps that real mobile
+        // silicon shows within a second — this is what the identified B
+        // matrix (and hence the power budget) keys on.
+        for core in [big0, big1, big2, big3] {
+            b.connect(core, case, 0.25).expect("valid");
+        }
+        b.connect(little, case, 0.60).expect("valid");
+        b.connect(gpu, case, 0.60).expect("valid");
+        b.connect(memory, case, 0.50).expect("valid");
+
+        // Lateral die coupling: the GPU neighbours cores 0/2, the little
+        // cluster neighbours cores 1/3 (this is what makes the identified B
+        // matrix sensitive to GPU and little-cluster power).
+        b.connect(gpu, big0, 0.15).expect("valid");
+        b.connect(gpu, big2, 0.15).expect("valid");
+        b.connect(little, big1, 0.12).expect("valid");
+        b.connect(little, big3, 0.12).expect("valid");
+        b.connect(memory, gpu, 0.10).expect("valid");
+
+        // Passive convection/radiation from the case to ambient.
+        let passive = 0.080;
+        b.connect_to_ambient(case, passive).expect("valid");
+
+        ExynosThermalNetwork {
+            network: b.build().expect("static network is valid"),
+            big_cores: [big0, big1, big2, big3],
+            little,
+            gpu,
+            memory,
+            case,
+            passive_case_conductance: passive,
+        }
+    }
+
+    /// The underlying RC network with the fan contributing `fan_boost_w_per_k`
+    /// of extra case-to-ambient conductance.
+    pub fn network_with_fan_boost(&self, fan_boost_w_per_k: f64) -> ThermalNetwork {
+        self.network
+            .with_extra_ambient_conductance(self.case, fan_boost_w_per_k)
+    }
+
+    /// The underlying RC network without any fan contribution.
+    pub fn network(&self) -> &ThermalNetwork {
+        &self.network
+    }
+
+    /// Node ids of the four big cores (the thermal hotspots).
+    pub fn big_core_nodes(&self) -> [NodeId; 4] {
+        self.big_cores
+    }
+
+    /// Node id of the little-cluster lump.
+    pub fn little_node(&self) -> NodeId {
+        self.little
+    }
+
+    /// Node id of the GPU lump.
+    pub fn gpu_node(&self) -> NodeId {
+        self.gpu
+    }
+
+    /// Node id of the memory lump.
+    pub fn memory_node(&self) -> NodeId {
+        self.memory
+    }
+
+    /// Node id of the case / heat-sink lump.
+    pub fn case_node(&self) -> NodeId {
+        self.case
+    }
+
+    /// Passive (fan-off) case-to-ambient conductance in W/K.
+    pub fn passive_case_conductance(&self) -> f64 {
+        self.passive_case_conductance
+    }
+
+    /// Builds the per-node power-injection vector from per-core big powers and
+    /// lumped little/GPU/memory powers (all in watts).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `big_core_powers` does not have four entries.
+    pub fn power_vector(
+        &self,
+        big_core_powers: &[f64],
+        little_w: f64,
+        gpu_w: f64,
+        memory_w: f64,
+    ) -> Vec<f64> {
+        assert_eq!(big_core_powers.len(), 4, "expected four big-core powers");
+        let mut p = vec![0.0; self.network.node_count()];
+        for (node, &power) in self.big_cores.iter().zip(big_core_powers) {
+            p[node.0] = power;
+        }
+        p[self.little.0] = little_w;
+        p[self.gpu.0] = gpu_w;
+        p[self.memory.0] = memory_w;
+        p
+    }
+
+    /// Extracts the big-core (hotspot) temperatures from a full plant state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `temps` does not cover all nodes.
+    pub fn hotspot_temps(&self, temps: &[f64]) -> [f64; 4] {
+        assert_eq!(temps.len(), self.network.node_count());
+        [
+            temps[self.big_cores[0].0],
+            temps[self.big_cores[1].0],
+            temps[self.big_cores[2].0],
+            temps[self.big_cores[3].0],
+        ]
+    }
+}
+
+impl Default for ExynosThermalNetwork {
+    fn default() -> Self {
+        ExynosThermalNetwork::odroid_xu_e()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uniform_start(network: &ThermalNetwork, temp: f64) -> Vec<f64> {
+        vec![temp; network.node_count()]
+    }
+
+    #[test]
+    fn builder_rejects_bad_networks() {
+        assert!(ThermalNetworkBuilder::new().build().is_err());
+
+        let mut b = ThermalNetworkBuilder::new();
+        let n = b.add_node("n", 1.0);
+        // No ambient connection.
+        assert!(b.clone().build().is_err());
+        assert!(b.connect(n, n, 1.0).is_err());
+        assert!(b.connect(n, NodeId(7), 1.0).is_err());
+        assert!(b.connect_to_ambient(n, -1.0).is_err());
+        assert!(b.connect_to_ambient(NodeId(9), 1.0).is_err());
+        b.connect_to_ambient(n, 0.5).unwrap();
+        assert!(b.build().is_ok());
+    }
+
+    #[test]
+    fn builder_rejects_non_positive_capacitance() {
+        let mut b = ThermalNetworkBuilder::new();
+        let n = b.add_node("bad", 0.0);
+        b.connect_to_ambient(n, 0.5).unwrap();
+        assert!(b.build().is_err());
+    }
+
+    #[test]
+    fn unpowered_network_relaxes_to_ambient() {
+        let plant = ExynosThermalNetwork::odroid_xu_e();
+        let network = plant.network();
+        let mut temps = uniform_start(network, 70.0);
+        let powers = vec![0.0; network.node_count()];
+        for _ in 0..200_000 {
+            temps = network.step(&temps, &powers, 25.0, 0.01).unwrap();
+        }
+        for t in &temps {
+            assert!((t - 25.0).abs() < 0.5, "temps {temps:?}");
+        }
+    }
+
+    #[test]
+    fn powered_network_heats_above_ambient() {
+        let plant = ExynosThermalNetwork::odroid_xu_e();
+        let network = plant.network();
+        let powers = plant.power_vector(&[0.8, 0.8, 0.8, 0.8], 0.05, 0.2, 0.4);
+        let mut temps = uniform_start(network, 28.0);
+        for _ in 0..3000 {
+            temps = network.step(&temps, &powers, 28.0, 0.01).unwrap();
+        }
+        let hotspots = plant.hotspot_temps(&temps);
+        for t in hotspots {
+            assert!(t > 28.5, "cores must heat up, got {hotspots:?}");
+        }
+    }
+
+    #[test]
+    fn steady_state_matches_long_integration() {
+        let plant = ExynosThermalNetwork::odroid_xu_e();
+        let network = plant.network();
+        let powers = plant.power_vector(&[0.6, 0.7, 0.5, 0.6], 0.05, 0.3, 0.4);
+        let ss = network.steady_state(&powers, 28.0).unwrap();
+        let mut temps = uniform_start(network, 28.0);
+        for _ in 0..1_000_000 {
+            temps = network.step(&temps, &powers, 28.0, 0.01).unwrap();
+        }
+        for (a, b) in temps.iter().zip(&ss) {
+            assert!((a - b).abs() < 0.3, "integration {temps:?} vs steady {ss:?}");
+        }
+    }
+
+    #[test]
+    fn high_load_without_fan_reaches_paper_like_temperatures() {
+        // Figure 1.1: without the fan a heavy workload pushes the hottest core
+        // towards ~85-90 degC.
+        let plant = ExynosThermalNetwork::odroid_xu_e();
+        let network = plant.network();
+        let powers = plant.power_vector(&[0.95, 1.0, 0.9, 0.95], 0.05, 0.3, 0.45);
+        let ss = network.steady_state(&powers, 28.0).unwrap();
+        let hottest = plant
+            .hotspot_temps(&ss)
+            .into_iter()
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert!(
+            (75.0..100.0).contains(&hottest),
+            "steady hottest core {hottest} degC"
+        );
+    }
+
+    #[test]
+    fn fan_boost_lowers_steady_state() {
+        let plant = ExynosThermalNetwork::odroid_xu_e();
+        let powers = plant.power_vector(&[0.9, 0.9, 0.9, 0.9], 0.05, 0.3, 0.4);
+        let no_fan = plant
+            .network()
+            .steady_state(&powers, 28.0)
+            .unwrap();
+        let with_fan = plant
+            .network_with_fan_boost(0.075)
+            .steady_state(&powers, 28.0)
+            .unwrap();
+        let hot_no_fan = plant.hotspot_temps(&no_fan)[0];
+        let hot_with_fan = plant.hotspot_temps(&with_fan)[0];
+        assert!(
+            hot_with_fan < hot_no_fan - 10.0,
+            "fan must cool noticeably: {hot_no_fan} vs {hot_with_fan}"
+        );
+    }
+
+    #[test]
+    fn asymmetric_core_power_creates_a_hotspot_gradient() {
+        let plant = ExynosThermalNetwork::odroid_xu_e();
+        let powers = plant.power_vector(&[1.4, 0.3, 0.3, 0.3], 0.05, 0.1, 0.3);
+        let ss = plant.network().steady_state(&powers, 28.0).unwrap();
+        let hotspots = plant.hotspot_temps(&ss);
+        assert!(hotspots[0] > hotspots[1] + 0.3);
+        assert!(hotspots[0] > hotspots[3] + 0.3);
+    }
+
+    #[test]
+    fn gpu_power_heats_the_big_cores() {
+        // The lateral coupling means GPU activity raises core temperatures,
+        // which is why the identified B matrix has a GPU column.
+        let plant = ExynosThermalNetwork::odroid_xu_e();
+        let idle = plant.power_vector(&[0.1, 0.1, 0.1, 0.1], 0.05, 0.0, 0.3);
+        let gpu_busy = plant.power_vector(&[0.1, 0.1, 0.1, 0.1], 0.05, 1.0, 0.3);
+        let t_idle = plant.network().steady_state(&idle, 28.0).unwrap();
+        let t_busy = plant.network().steady_state(&gpu_busy, 28.0).unwrap();
+        let d0 = plant.hotspot_temps(&t_busy)[0] - plant.hotspot_temps(&t_idle)[0];
+        assert!(d0 > 1.0, "GPU heat must couple into the big cores, delta {d0}");
+    }
+
+    #[test]
+    fn step_rejects_bad_inputs() {
+        let plant = ExynosThermalNetwork::odroid_xu_e();
+        let network = plant.network();
+        let temps = uniform_start(network, 30.0);
+        assert!(network.step(&temps[..3], &vec![0.0; 8], 25.0, 0.01).is_err());
+        assert!(network.step(&temps, &vec![0.0; 3], 25.0, 0.01).is_err());
+        assert!(network.step(&temps, &vec![0.0; 8], 25.0, 0.0).is_err());
+        assert!(network.steady_state(&vec![0.0; 2], 25.0).is_err());
+    }
+
+    #[test]
+    fn node_lookup_by_name() {
+        let plant = ExynosThermalNetwork::odroid_xu_e();
+        let network = plant.network();
+        assert_eq!(network.node_by_name("gpu"), Some(plant.gpu_node()));
+        assert_eq!(network.node_by_name("nonexistent"), None);
+        assert_eq!(network.node_name(plant.case_node()), "case");
+        assert_eq!(network.capacitances().len(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "four big-core powers")]
+    fn power_vector_requires_four_core_powers() {
+        let plant = ExynosThermalNetwork::odroid_xu_e();
+        plant.power_vector(&[1.0, 1.0], 0.0, 0.0, 0.0);
+    }
+}

@@ -1,0 +1,41 @@
+//! Benchmarks and synthetic workload generation (Table 6.4 of the paper).
+//!
+//! The paper evaluates 15 benchmarks — eleven from Mi-Bench, two Android
+//! games, YouTube video playback and a hand-written multi-threaded matrix
+//! multiplication — plus multi-threaded FFT/LU runs for Figure 6.10. The real
+//! binaries obviously cannot run inside a simulator, so each benchmark is
+//! modelled as a *phase-based work profile*: a sequence of phases, each with a
+//! number of parallel CPU work streams, an activity factor (how
+//! switching-intensive the code is), and GPU/memory intensities, plus the
+//! Android background load that the paper keeps running during every
+//! experiment.
+//!
+//! What matters for DTPM is preserved by this substitution: the controller
+//! only ever observes utilisation, power and temperature, and performance is
+//! accounted in *work units*, so throttling the frequency lengthens execution
+//! time exactly as it would on hardware.
+//!
+//! # Example
+//!
+//! ```
+//! use workload::{BenchmarkId, WorkloadState};
+//!
+//! let mut wl = WorkloadState::new(BenchmarkId::MatrixMult, 42);
+//! assert!(!wl.is_complete());
+//! // Simulate one 100 ms tick worth of progress on four big cores at 1.6 GHz.
+//! let demand = wl.demand();
+//! assert!(demand.cpu_streams > 1.0, "matrix multiplication is multi-threaded");
+//! wl.advance(4.0 * 1.6 * 0.1);
+//! assert!(wl.progress() > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod catalog;
+pub mod demand;
+pub mod state;
+
+pub use catalog::{Benchmark, BenchmarkCategory, BenchmarkId, BenchmarkType, Phase};
+pub use demand::{BackgroundLoad, Demand};
+pub use state::WorkloadState;
