@@ -68,13 +68,21 @@ fn bench_budget_distribution(c: &mut Criterion) {
     group.bench_function("branch_and_bound", |b| {
         b.iter(|| {
             black_box(
-                distribute_budget(black_box(&resources), 2.5, DistributionMethod::BranchAndBound)
-                    .unwrap(),
+                distribute_budget(
+                    black_box(&resources),
+                    2.5,
+                    DistributionMethod::BranchAndBound,
+                )
+                .unwrap(),
             )
         })
     });
     group.finish();
 }
 
-criterion_group!(benches, bench_benchmark_comparison, bench_budget_distribution);
+criterion_group!(
+    benches,
+    bench_benchmark_comparison,
+    bench_budget_distribution
+);
 criterion_main!(benches);

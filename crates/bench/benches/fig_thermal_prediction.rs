@@ -64,9 +64,7 @@ fn bench_plant_step(c: &mut Criterion) {
 
 fn bench_prbs_generation(c: &mut Criterion) {
     c.bench_function("fig4_8/prbs_generation_10500_intervals", |b| {
-        b.iter(|| {
-            black_box(PrbsSignal::generate(PrbsConfig::default(), 10_500).unwrap())
-        })
+        b.iter(|| black_box(PrbsSignal::generate(PrbsConfig::default(), 10_500).unwrap()))
     });
 }
 

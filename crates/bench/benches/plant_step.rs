@@ -1,0 +1,143 @@
+//! Criterion benchmark for the plant-integrator hot path.
+//!
+//! Measures `PhysicalPlant::step_interval` (the zero-allocation scratch-buffer
+//! engine) against the checked-in naive baseline
+//! (`platform_sim::NaivePhysicalPlant`, the original allocation-heavy loop:
+//! network clone per interval, `Vec`s per micro-step). Besides the per-case
+//! criterion numbers it prints integrator micro-steps per second for both
+//! engines and the resulting speedup — the repo's acceptance bar is ≥5×.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
+
+use platform_sim::{NaivePhysicalPlant, PhysicalPlant, PlantPowerParams};
+use soc_model::{FanLevel, PlatformState, SocSpec};
+use workload::Demand;
+
+const CONTROL_PERIOD_S: f64 = 0.1;
+/// Micro-steps per control interval (plant integrates at dt = 10 ms).
+const MICRO_STEPS_PER_INTERVAL: f64 = 10.0;
+
+fn busy_demand() -> Demand {
+    Demand {
+        cpu_streams: 3.5,
+        activity_factor: 0.9,
+        gpu_utilization: 0.4,
+        memory_intensity: 0.5,
+        frequency_scalability: 0.9,
+    }
+}
+
+fn bench_step_interval(c: &mut Criterion) {
+    let spec = SocSpec::odroid_xu_e();
+    let demand = busy_demand();
+    let state = PlatformState::default_for(&spec);
+
+    let mut group = c.benchmark_group("plant_step/step_interval_100ms");
+    let mut optimized = PhysicalPlant::new(spec.clone(), PlantPowerParams::default());
+    group.bench_function("optimized", |b| {
+        b.iter(|| {
+            black_box(
+                optimized
+                    .step_interval(
+                        black_box(&state),
+                        black_box(&demand),
+                        FanLevel::Half,
+                        28.0,
+                        CONTROL_PERIOD_S,
+                    )
+                    .unwrap(),
+            )
+        })
+    });
+    let mut naive = NaivePhysicalPlant::new(spec.clone(), PlantPowerParams::default());
+    group.bench_function("naive_baseline", |b| {
+        b.iter(|| {
+            black_box(
+                naive
+                    .step_interval(
+                        black_box(&state),
+                        black_box(&demand),
+                        FanLevel::Half,
+                        28.0,
+                        CONTROL_PERIOD_S,
+                    )
+                    .unwrap(),
+            )
+        })
+    });
+    group.finish();
+
+    report_steps_per_second(&spec, &state, &demand);
+}
+
+/// Times both engines over the same simulated horizon and prints
+/// micro-steps/sec plus the speedup factor.
+fn report_steps_per_second(spec: &SocSpec, state: &PlatformState, demand: &Demand) {
+    let test_mode = std::env::args().any(|a| a == "--test");
+    let intervals: usize = if test_mode { 50 } else { 10_000 };
+    let passes: usize = if test_mode { 1 } else { 3 };
+
+    // Best-of-N wall-clock per engine: the minimum is the least-interference
+    // estimate on a shared machine (the simulated trajectory is identical in
+    // every pass).
+    let mut optimized = PhysicalPlant::new(spec.clone(), PlantPowerParams::default());
+    let mut optimized_elapsed = std::time::Duration::MAX;
+    for _ in 0..passes {
+        let start = Instant::now();
+        for _ in 0..intervals {
+            black_box(
+                optimized
+                    .step_interval(state, demand, FanLevel::Half, 28.0, CONTROL_PERIOD_S)
+                    .unwrap(),
+            );
+        }
+        optimized_elapsed = optimized_elapsed.min(start.elapsed());
+    }
+
+    let mut naive = NaivePhysicalPlant::new(spec.clone(), PlantPowerParams::default());
+    let mut naive_elapsed = std::time::Duration::MAX;
+    for _ in 0..passes {
+        let start = Instant::now();
+        for _ in 0..intervals {
+            black_box(
+                naive
+                    .step_interval(state, demand, FanLevel::Half, 28.0, CONTROL_PERIOD_S)
+                    .unwrap(),
+            );
+        }
+        naive_elapsed = naive_elapsed.min(start.elapsed());
+    }
+
+    let micro_steps = intervals as f64 * MICRO_STEPS_PER_INTERVAL;
+    let optimized_sps = micro_steps / optimized_elapsed.as_secs_f64();
+    let naive_sps = micro_steps / naive_elapsed.as_secs_f64();
+    let speedup = optimized_sps / naive_sps;
+    println!("plant_step/steps_per_sec/optimized       {optimized_sps:>14.0} steps/s");
+    println!("plant_step/steps_per_sec/naive_baseline  {naive_sps:>14.0} steps/s");
+    println!("plant_step/speedup_vs_naive              {speedup:>14.2}x (acceptance bar: >= 5x)");
+    // Regression guard: the acceptance bar is >= 5x (measured best-of-3 on a
+    // quiet machine); assert a conservative 3x floor so a real hot-path
+    // regression fails the bench without noise on shared vCPUs causing
+    // flakes. The --test smoke run is too short to measure meaningfully.
+    if !test_mode {
+        assert!(
+            speedup >= 3.0,
+            "optimized plant regressed to {speedup:.2}x over the naive baseline (floor: 3x, target: 5x)"
+        );
+    }
+
+    // Cross-check the two engines while we have them side by side.
+    let optimized_temps = optimized.core_temps_c();
+    let naive_temps = naive.core_temps_c();
+    for (a, b) in optimized_temps.iter().zip(naive_temps.iter()) {
+        assert!(
+            (a - b).abs() < 1e-6,
+            "engines diverged: optimized {optimized_temps:?} vs naive {naive_temps:?}"
+        );
+    }
+}
+
+criterion_group!(benches, bench_step_interval);
+criterion_main!(benches);

@@ -53,26 +53,77 @@ impl ExperimentContext {
 
 /// Identifier and description of every reproducible experiment.
 pub const EXPERIMENTS: &[(&str, &str)] = &[
-    ("tables", "Tables 6.1-6.4: OPP tables and the benchmark list"),
-    ("fig1_1", "Figure 1.1: maximum core temperature with and without the fan"),
-    ("fig4_2", "Figure 4.2: furnace total CPU power at each ambient setpoint"),
-    ("fig4_3", "Figure 4.3: leakage power vs temperature (fitted model)"),
-    ("fig4_5", "Figure 4.5: leakage and dynamic power vs temperature at 1.6 GHz"),
-    ("fig4_6", "Figure 4.6: leakage and dynamic power vs frequency"),
-    ("fig4_7", "Figure 4.7: power model validation (predicted vs measured)"),
-    ("fig4_8", "Figure 4.8: PRBS excitation signal and core-0 temperature"),
-    ("fig4_9", "Figure 4.9: thermal model validation for Blowfish at a 1 s horizon"),
-    ("fig4_10", "Figure 4.10: prediction error vs horizon for Templerun"),
-    ("fig6_2", "Figure 6.2: 1 s temperature prediction error for all benchmarks"),
+    (
+        "tables",
+        "Tables 6.1-6.4: OPP tables and the benchmark list",
+    ),
+    (
+        "fig1_1",
+        "Figure 1.1: maximum core temperature with and without the fan",
+    ),
+    (
+        "fig4_2",
+        "Figure 4.2: furnace total CPU power at each ambient setpoint",
+    ),
+    (
+        "fig4_3",
+        "Figure 4.3: leakage power vs temperature (fitted model)",
+    ),
+    (
+        "fig4_5",
+        "Figure 4.5: leakage and dynamic power vs temperature at 1.6 GHz",
+    ),
+    (
+        "fig4_6",
+        "Figure 4.6: leakage and dynamic power vs frequency",
+    ),
+    (
+        "fig4_7",
+        "Figure 4.7: power model validation (predicted vs measured)",
+    ),
+    (
+        "fig4_8",
+        "Figure 4.8: PRBS excitation signal and core-0 temperature",
+    ),
+    (
+        "fig4_9",
+        "Figure 4.9: thermal model validation for Blowfish at a 1 s horizon",
+    ),
+    (
+        "fig4_10",
+        "Figure 4.10: prediction error vs horizon for Templerun",
+    ),
+    (
+        "fig6_2",
+        "Figure 6.2: 1 s temperature prediction error for all benchmarks",
+    ),
     ("fig6_3", "Figure 6.3: temperature control for Templerun"),
     ("fig6_4", "Figure 6.4: temperature control for Basicmath"),
     ("fig6_5", "Figure 6.5: thermal stability comparison"),
-    ("fig6_6", "Figure 6.6: frequency and temperature for Dijkstra (default vs DTPM)"),
-    ("fig6_7", "Figure 6.7: frequency and temperature for Patricia (default vs DTPM)"),
-    ("fig6_8", "Figure 6.8: frequency and temperature for matrix multiplication"),
-    ("fig6_9", "Figure 6.9: power savings and performance loss summary"),
-    ("fig6_10", "Figure 6.10: multi-threaded power savings and performance loss"),
-    ("fig7_1", "Figure 7.1: power-budget distribution across heterogeneous resources"),
+    (
+        "fig6_6",
+        "Figure 6.6: frequency and temperature for Dijkstra (default vs DTPM)",
+    ),
+    (
+        "fig6_7",
+        "Figure 6.7: frequency and temperature for Patricia (default vs DTPM)",
+    ),
+    (
+        "fig6_8",
+        "Figure 6.8: frequency and temperature for matrix multiplication",
+    ),
+    (
+        "fig6_9",
+        "Figure 6.9: power savings and performance loss summary",
+    ),
+    (
+        "fig6_10",
+        "Figure 6.10: multi-threaded power savings and performance loss",
+    ),
+    (
+        "fig7_1",
+        "Figure 7.1: power-budget distribution across heterogeneous resources",
+    ),
 ];
 
 /// Runs one experiment by id and returns its textual report.

@@ -4,9 +4,7 @@
 use std::fmt::Write as _;
 
 use numeric::Vector;
-use platform_sim::{
-    CalibrationCampaign, PhysicalPlant, PlantPowerParams, SensorSuite, SimError,
-};
+use platform_sim::{CalibrationCampaign, PhysicalPlant, PlantPowerParams, SensorSuite, SimError};
 use power_model::{FurnaceDataset, PowerModel};
 use soc_model::{ClusterKind, FanLevel, Frequency, PlatformState, PowerDomain, SocSpec, Voltage};
 use sysid::{n_step_prediction, IdentificationDataset, PrbsConfig, PrbsSignal};
@@ -32,8 +30,10 @@ pub fn fig4_2(context: &ExperimentContext) -> Result<String, SimError> {
         frequency_scalability: 1.0,
     };
     for &setpoint in &FurnaceDataset::PAPER_SWEEP_C {
-        let mut plant =
-            PhysicalPlant::new(spec.clone().with_ambient_c(setpoint), PlantPowerParams::default());
+        let mut plant = PhysicalPlant::new(
+            spec.clone().with_ambient_c(setpoint),
+            PlantPowerParams::default(),
+        );
         plant.reset_temps(setpoint);
         let mut sensors = SensorSuite::odroid_defaults(setpoint as u64);
         let steps = if context.quick { 1200 } else { 3200 };
@@ -54,7 +54,9 @@ pub fn fig4_2(context: &ExperimentContext) -> Result<String, SimError> {
             sum / count as f64
         );
     }
-    out.push_str("  (shape check: power rises with the furnace setpoint because only leakage grows)\n");
+    out.push_str(
+        "  (shape check: power rises with the furnace setpoint because only leakage grows)\n",
+    );
     Ok(out)
 }
 
@@ -136,8 +138,10 @@ pub fn fig4_7(context: &ExperimentContext) -> Result<String, SimError> {
     let mut out = String::from("Figure 4.7 — power model validation (predicted vs measured)\n");
     let mut worst_rel = 0.0f64;
     for &setpoint in &FurnaceDataset::PAPER_SWEEP_C {
-        let mut plant =
-            PhysicalPlant::new(spec.clone().with_ambient_c(setpoint), PlantPowerParams::default());
+        let mut plant = PhysicalPlant::new(
+            spec.clone().with_ambient_c(setpoint),
+            PlantPowerParams::default(),
+        );
         plant.reset_temps(setpoint);
         let mut measured = 0.0;
         let mut temp = setpoint;
@@ -248,9 +252,8 @@ pub fn fig4_9(context: &ExperimentContext) -> Result<String, SimError> {
 pub fn fig4_10(context: &ExperimentContext) -> Result<String, SimError> {
     let (dataset, _) = benchmark_identification_log(BenchmarkId::Templerun, context.quick)?;
     let model = context.calibration.predictor.model();
-    let mut out = String::from(
-        "Figure 4.10 — average temperature prediction error vs horizon (Templerun)\n",
-    );
+    let mut out =
+        String::from("Figure 4.10 — average temperature prediction error vs horizon (Templerun)\n");
     for horizon in [5usize, 10, 20, 30, 40, 50] {
         let report = n_step_prediction(model, &dataset, horizon)
             .map_err(|e| SimError::Identification(e.to_string()))?;
@@ -266,8 +269,9 @@ pub fn fig4_10(context: &ExperimentContext) -> Result<String, SimError> {
 /// Figure 6.2 — 1 s prediction error for every benchmark of Table 6.4.
 pub fn fig6_2(context: &ExperimentContext) -> Result<String, SimError> {
     let model = context.calibration.predictor.model();
-    let mut out =
-        String::from("Figure 6.2 — temperature prediction error for all benchmarks (1 s horizon)\n");
+    let mut out = String::from(
+        "Figure 6.2 — temperature prediction error for all benchmarks (1 s horizon)\n",
+    );
     let mut worst: (f64, &str) = (0.0, "-");
     let mut sum = 0.0;
     let mut count = 0.0;
@@ -309,8 +313,8 @@ fn benchmark_identification_log(
     let mut plant = PhysicalPlant::new(spec.clone(), PlantPowerParams::default());
     let mut sensors = SensorSuite::odroid_defaults(benchmark.name().len() as u64 * 77);
     let mut workload = WorkloadState::new(benchmark, 5);
-    let mut dataset =
-        IdentificationDataset::new(4, 4, 0.1, 28.0).map_err(|e| SimError::Identification(e.to_string()))?;
+    let mut dataset = IdentificationDataset::new(4, 4, 0.1, 28.0)
+        .map_err(|e| SimError::Identification(e.to_string()))?;
     let state = PlatformState::default_for(&spec);
     let cap_steps = if quick { 900 } else { 2500 };
     let mut time = 0.0;

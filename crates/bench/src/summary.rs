@@ -5,7 +5,7 @@ use std::fmt::Write as _;
 
 use dtpm::{distribute_budget, DistributionMethod, ResourceLoad};
 use platform_sim::{
-    BenchmarkComparison, Experiment, ExperimentConfig, ExperimentKind, SimError, SimulationResult,
+    BenchmarkComparison, ExperimentConfig, ExperimentKind, ScenarioSweep, SimError,
 };
 use soc_model::{OppTable, SocSpec};
 use workload::{BenchmarkCategory, BenchmarkId};
@@ -19,7 +19,10 @@ pub fn tables() -> String {
     let mut out = String::new();
     for (title, table) in [
         ("Table 6.1 — big CPU cluster frequencies", spec.big_opps()),
-        ("Table 6.2 — little CPU cluster frequencies", spec.little_opps()),
+        (
+            "Table 6.2 — little CPU cluster frequencies",
+            spec.little_opps(),
+        ),
         ("Table 6.3 — GPU frequencies", spec.gpu_opps()),
     ] {
         let _ = writeln!(out, "{title}");
@@ -33,7 +36,11 @@ pub fn tables() -> String {
         }
     }
     let _ = writeln!(out, "Table 6.4 — benchmarks used in the experiments");
-    let _ = writeln!(out, "  {:<14} {:<14} {:<8} {:<4}", "benchmark", "type", "category", "gpu");
+    let _ = writeln!(
+        out,
+        "  {:<14} {:<14} {:<8} {:<4}",
+        "benchmark", "type", "category", "gpu"
+    );
     for id in BenchmarkId::PAPER_SET {
         let spec = id.spec();
         let _ = writeln!(
@@ -48,22 +55,39 @@ pub fn tables() -> String {
     out
 }
 
-fn run(
+fn config_for(
     context: &ExperimentContext,
     kind: ExperimentKind,
     benchmark: BenchmarkId,
-) -> Result<SimulationResult, SimError> {
+) -> ExperimentConfig {
     let mut config = ExperimentConfig::new(kind, benchmark).with_seed(7);
     if context.quick {
         config.max_duration_s = 240.0;
     }
-    Experiment::new(config, &context.calibration)?.run()
+    config
 }
 
 fn summary_rows(
     context: &ExperimentContext,
     benchmarks: &[BenchmarkId],
 ) -> Result<(String, Vec<(BenchmarkId, BenchmarkComparison)>), SimError> {
+    // Every benchmark needs a fan-cooled baseline run and a DTPM run; the
+    // pairs are independent closed-loop simulations, so fan them all out over
+    // the scenario sweep's worker threads (results are deterministic and come
+    // back in input order).
+    let mut configs = Vec::with_capacity(benchmarks.len() * 2);
+    for &benchmark in benchmarks {
+        configs.push(config_for(
+            context,
+            ExperimentKind::DefaultWithFan,
+            benchmark,
+        ));
+        configs.push(config_for(context, ExperimentKind::Dtpm, benchmark));
+    }
+    let mut results = ScenarioSweep::new(configs)
+        .run(&context.calibration)
+        .into_iter();
+
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -72,8 +96,8 @@ fn summary_rows(
     );
     let mut rows = Vec::new();
     for &benchmark in benchmarks {
-        let baseline = run(context, ExperimentKind::DefaultWithFan, benchmark)?;
-        let dtpm = run(context, ExperimentKind::Dtpm, benchmark)?;
+        let baseline = results.next().expect("one result per config")?;
+        let dtpm = results.next().expect("one result per config")?;
         let cmp = BenchmarkComparison::against_baseline(&baseline, &dtpm);
         let peak = dtpm.trace.temperature_summary().max;
         let _ = writeln!(
@@ -93,8 +117,9 @@ fn summary_rows(
 /// Figure 6.9 — power savings and performance loss of the DTPM algorithm
 /// relative to the fan-cooled default, per benchmark.
 pub fn fig6_9(context: &ExperimentContext) -> Result<String, SimError> {
-    let mut out =
-        String::from("Figure 6.9 — power savings and performance loss (DTPM vs default with fan)\n");
+    let mut out = String::from(
+        "Figure 6.9 — power savings and performance loss (DTPM vs default with fan)\n",
+    );
     let benchmarks: Vec<BenchmarkId> = if context.quick {
         vec![
             BenchmarkId::Dijkstra,
@@ -125,9 +150,15 @@ pub fn fig6_9(context: &ExperimentContext) -> Result<String, SimError> {
         if in_category.is_empty() {
             continue;
         }
-        let saving =
-            in_category.iter().map(|c| c.power_saving_percent).sum::<f64>() / in_category.len() as f64;
-        let loss = in_category.iter().map(|c| c.performance_loss_percent).sum::<f64>()
+        let saving = in_category
+            .iter()
+            .map(|c| c.power_saving_percent)
+            .sum::<f64>()
+            / in_category.len() as f64;
+        let loss = in_category
+            .iter()
+            .map(|c| c.performance_loss_percent)
+            .sum::<f64>()
             / in_category.len() as f64;
         let _ = writeln!(
             out,
@@ -180,7 +211,10 @@ pub fn fig7_1() -> String {
         "budget W", "method", "frequencies (MHz)", "power W", "cost J"
     );
     for budget in [1.0, 1.5, 2.0, 2.5, 3.0, 4.0, 5.0] {
-        for method in [DistributionMethod::Greedy, DistributionMethod::BranchAndBound] {
+        for method in [
+            DistributionMethod::Greedy,
+            DistributionMethod::BranchAndBound,
+        ] {
             let result = distribute_budget(&resources, budget, method)
                 .expect("static resource description is valid");
             let freqs: Vec<String> = result

@@ -14,7 +14,7 @@
 //! cluster; subtracting the predicted leakage gives the *dynamic* budget that
 //! is finally converted into a frequency (Eq. 5.6).
 
-use numeric::Vector;
+use numeric::Matrix;
 use power_model::DomainPower;
 use serde::{Deserialize, Serialize};
 use soc_model::PowerDomain;
@@ -66,11 +66,54 @@ impl PowerBudget {
         predicted_leakage_w: f64,
     ) -> Result<PowerBudget, DtpmError> {
         if horizon == 0 {
-            return Err(DtpmError::InvalidConfig("horizon must be at least one step"));
+            return Err(DtpmError::InvalidConfig(
+                "horizon must be at least one step",
+            ));
         }
-        let model = predictor.model();
+        let (a_n, b_n) = predictor.model().horizon_matrices(horizon)?;
+        PowerBudget::compute_with(
+            predictor,
+            core_temps_c,
+            other_powers,
+            domain,
+            constraint_c,
+            &a_n,
+            &b_n,
+            predicted_leakage_w,
+        )
+    }
+
+    /// Allocation-free form of [`PowerBudget::compute`] taking the
+    /// precomputed horizon matrices `(Aₙ, Bₙ)` from
+    /// [`thermal_model::DiscreteThermalModel::horizon_matrices`]. The DTPM
+    /// policy caches those per configured horizon, so the per-interval budget
+    /// computation reduces to a handful of dot products.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DtpmError::InvalidConfig`] if the matrices do not cover the
+    /// hotspot states.
+    #[allow(clippy::too_many_arguments)]
+    pub fn compute_with(
+        predictor: &ThermalPredictor,
+        core_temps_c: [f64; HOTSPOT_COUNT],
+        other_powers: &DomainPower,
+        domain: PowerDomain,
+        constraint_c: f64,
+        a_n: &Matrix,
+        b_n: &Matrix,
+        predicted_leakage_w: f64,
+    ) -> Result<PowerBudget, DtpmError> {
+        if a_n.rows() < HOTSPOT_COUNT
+            || a_n.cols() < HOTSPOT_COUNT
+            || b_n.rows() < HOTSPOT_COUNT
+            || b_n.cols() < PowerDomain::COUNT
+        {
+            return Err(DtpmError::InvalidConfig(
+                "horizon matrices do not cover the hotspot states",
+            ));
+        }
         let ambient = predictor.ambient_c();
-        let (a_n, b_n) = model.horizon_matrices(horizon)?;
 
         // The hottest core is the constraint most likely to be violated (Eq. 5.5).
         let hot_core = core_temps_c
@@ -80,21 +123,21 @@ impl PowerBudget {
             .map(|(i, _)| i)
             .unwrap_or(0);
 
-        let rel_temps = Vector::from_iter(core_temps_c.iter().map(|t| t - ambient));
-        let a_row = a_n.row(hot_core);
-        let b_row = b_n.row(hot_core);
-
         // Contribution of the current temperatures (Aₙ,h · T).
-        let temp_term = a_row.dot(&rel_temps);
+        let temp_term = core_temps_c
+            .iter()
+            .enumerate()
+            .map(|(j, t)| a_n[(hot_core, j)] * (t - ambient))
+            .sum::<f64>();
         // Contribution of the domains we are not solving for.
         let mut fixed_power_term = 0.0;
         for other in PowerDomain::ALL {
             if other != domain {
-                fixed_power_term += b_row[other.index()] * other_powers[other];
+                fixed_power_term += b_n[(hot_core, other.index())] * other_powers[other];
             }
         }
         let rhs = (constraint_c - ambient) - temp_term - fixed_power_term;
-        let own_coefficient = b_row[domain.index()];
+        let own_coefficient = b_n[(hot_core, domain.index())];
 
         // Headroom if the domain drew nothing at all.
         let headroom_c = rhs;
@@ -159,12 +202,15 @@ mod tests {
     #[test]
     fn budget_shrinks_as_temperature_approaches_constraint() {
         let p = predictor();
-        let cool = PowerBudget::compute(&p, [45.0; 4], &others(), PowerDomain::BigCpu, 63.0, 10, 0.2)
-            .unwrap();
-        let warm = PowerBudget::compute(&p, [58.0; 4], &others(), PowerDomain::BigCpu, 63.0, 10, 0.2)
-            .unwrap();
-        let hot = PowerBudget::compute(&p, [62.5; 4], &others(), PowerDomain::BigCpu, 63.0, 10, 0.2)
-            .unwrap();
+        let cool =
+            PowerBudget::compute(&p, [45.0; 4], &others(), PowerDomain::BigCpu, 63.0, 10, 0.2)
+                .unwrap();
+        let warm =
+            PowerBudget::compute(&p, [58.0; 4], &others(), PowerDomain::BigCpu, 63.0, 10, 0.2)
+                .unwrap();
+        let hot =
+            PowerBudget::compute(&p, [62.5; 4], &others(), PowerDomain::BigCpu, 63.0, 10, 0.2)
+                .unwrap();
         assert!(cool.total_w > warm.total_w);
         assert!(warm.total_w > hot.total_w);
         assert!(hot.total_w >= 0.0);
@@ -255,8 +301,9 @@ mod tests {
         let p = predictor();
         let mut gpu_hot = others();
         gpu_hot[PowerDomain::Gpu] = 1.5;
-        let base = PowerBudget::compute(&p, [55.0; 4], &others(), PowerDomain::BigCpu, 63.0, 10, 0.2)
-            .unwrap();
+        let base =
+            PowerBudget::compute(&p, [55.0; 4], &others(), PowerDomain::BigCpu, 63.0, 10, 0.2)
+                .unwrap();
         let with_gpu =
             PowerBudget::compute(&p, [55.0; 4], &gpu_hot, PowerDomain::BigCpu, 63.0, 10, 0.2)
                 .unwrap();
@@ -266,16 +313,10 @@ mod tests {
     #[test]
     fn zero_horizon_rejected() {
         let p = predictor();
-        assert!(PowerBudget::compute(
-            &p,
-            [50.0; 4],
-            &others(),
-            PowerDomain::BigCpu,
-            63.0,
-            0,
-            0.2
-        )
-        .is_err());
+        assert!(
+            PowerBudget::compute(&p, [50.0; 4], &others(), PowerDomain::BigCpu, 63.0, 0, 0.2)
+                .is_err()
+        );
     }
 
     #[test]
@@ -283,10 +324,12 @@ mod tests {
         // Predicting further ahead leaves less thermal capacitance to hide
         // behind, so the allowed power is smaller.
         let p = predictor();
-        let short = PowerBudget::compute(&p, [55.0; 4], &others(), PowerDomain::BigCpu, 63.0, 5, 0.2)
-            .unwrap();
-        let long = PowerBudget::compute(&p, [55.0; 4], &others(), PowerDomain::BigCpu, 63.0, 30, 0.2)
-            .unwrap();
+        let short =
+            PowerBudget::compute(&p, [55.0; 4], &others(), PowerDomain::BigCpu, 63.0, 5, 0.2)
+                .unwrap();
+        let long =
+            PowerBudget::compute(&p, [55.0; 4], &others(), PowerDomain::BigCpu, 63.0, 30, 0.2)
+                .unwrap();
         assert!(long.total_w < short.total_w);
     }
 }

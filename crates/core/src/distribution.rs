@@ -111,7 +111,11 @@ fn summarise(resources: &[ResourceLoad], freqs: &[Frequency], budget_w: f64) -> 
         .zip(freqs)
         .map(|(r, &f)| r.power_at(f))
         .sum();
-    let cost: f64 = resources.iter().zip(freqs).map(|(r, &f)| r.cost_at(f)).sum();
+    let cost: f64 = resources
+        .iter()
+        .zip(freqs)
+        .map(|(r, &f)| r.cost_at(f))
+        .sum();
     DistributionResult {
         frequencies: freqs.to_vec(),
         total_power_w,
@@ -169,7 +173,13 @@ fn branch_and_bound(resources: &[ResourceLoad], budget_w: f64) -> DistributionRe
     }
 
     impl Search<'_> {
-        fn recurse(&mut self, index: usize, chosen: &mut Vec<Frequency>, power_so_far: f64, cost_so_far: f64) {
+        fn recurse(
+            &mut self,
+            index: usize,
+            chosen: &mut Vec<Frequency>,
+            power_so_far: f64,
+            cost_so_far: f64,
+        ) {
             if power_so_far > self.budget_w + 1e-12 {
                 return; // prune: power only grows as we add resources
             }
@@ -241,7 +251,10 @@ mod tests {
     #[test]
     fn generous_budget_keeps_everything_at_max() {
         let resources = cpu_gpu_resources();
-        for method in [DistributionMethod::Greedy, DistributionMethod::BranchAndBound] {
+        for method in [
+            DistributionMethod::Greedy,
+            DistributionMethod::BranchAndBound,
+        ] {
             let result = distribute_budget(&resources, 100.0, method).unwrap();
             assert!(result.feasible);
             assert_eq!(result.frequencies[0].mhz(), 1600);
@@ -255,10 +268,12 @@ mod tests {
         // The CPU dominates the power draw (a³f³ with a ten-fold larger power
         // coefficient at its frequencies), so stepping it down frees far more
         // power per unit of added cost than throttling the tiny GPU.
-        let result =
-            distribute_budget(&resources, 3.2, DistributionMethod::Greedy).unwrap();
+        let result = distribute_budget(&resources, 3.2, DistributionMethod::Greedy).unwrap();
         assert!(result.feasible);
-        assert!(result.frequencies[0].mhz() < 1600, "CPU should be throttled");
+        assert!(
+            result.frequencies[0].mhz() < 1600,
+            "CPU should be throttled"
+        );
         assert_eq!(result.frequencies[1].mhz(), 533, "GPU spared");
     }
 

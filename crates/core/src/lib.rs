@@ -76,4 +76,4 @@ pub use config::DtpmConfig;
 pub use distribution::{distribute_budget, DistributionMethod, DistributionResult, ResourceLoad};
 pub use error::DtpmError;
 pub use policy::{DtpmAction, DtpmDecision, DtpmInputs, DtpmPolicy};
-pub use predictor::ThermalPredictor;
+pub use predictor::{PredictorScratch, ThermalPredictor};

@@ -14,13 +14,14 @@
 //!    active, drop its frequency one level — these have the largest
 //!    performance impact, so they come last.
 
+use numeric::Matrix;
 use power_model::{DomainPower, PowerModel};
 use serde::{Deserialize, Serialize};
 use soc_model::{ClusterKind, Frequency, PlatformState, PowerDomain, SocSpec};
 
 use crate::budget::PowerBudget;
 use crate::config::DtpmConfig;
-use crate::predictor::{ThermalPredictor, HOTSPOT_COUNT};
+use crate::predictor::{PredictorScratch, ThermalPredictor, HOTSPOT_COUNT};
 use crate::DtpmError;
 
 /// Everything the policy sees at one control interval.
@@ -79,10 +80,28 @@ pub struct DtpmDecision {
 }
 
 /// The predictive DTPM policy.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// The policy owns the scratch buffers of its prediction path and caches the
+/// horizon matrices `(Aₙ, Bₙ)` of the power-budget computation, so a decision
+/// is allocation-free in steady state (the paper's "negligible overhead"
+/// in-kernel requirement).
+#[derive(Debug, Clone)]
 pub struct DtpmPolicy {
     config: DtpmConfig,
     predictor: ThermalPredictor,
+    scratch: PredictorScratch,
+    /// `(horizon, Aₙ, Bₙ)` from the last budget computation; recomputed only
+    /// when the configured horizon changes.
+    horizon_cache: Option<(usize, Matrix, Matrix)>,
+}
+
+/// Two policies are equal when they would make the same decisions: the
+/// scratch buffers and the derived horizon cache are deliberately excluded
+/// (they only record that a policy has already run).
+impl PartialEq for DtpmPolicy {
+    fn eq(&self, other: &Self) -> bool {
+        self.config == other.config && self.predictor == other.predictor
+    }
 }
 
 impl DtpmPolicy {
@@ -92,7 +111,12 @@ impl DtpmPolicy {
     /// The configuration is validated lazily in [`DtpmPolicy::decide`]; use
     /// [`DtpmConfig::validate`] to check it eagerly.
     pub fn new(config: DtpmConfig, predictor: ThermalPredictor) -> Self {
-        DtpmPolicy { config, predictor }
+        DtpmPolicy {
+            config,
+            predictor,
+            scratch: PredictorScratch::default(),
+            horizon_cache: None,
+        }
     }
 
     /// The policy configuration.
@@ -186,9 +210,12 @@ impl DtpmPolicy {
         // Step 1: predict the outcome of the governors' proposal.
         let proposed_powers =
             self.predicted_powers(inputs, power_model, &inputs.proposed, hot_temp, 1.0)?;
-        let predicted_peak =
-            self.predictor
-                .predict_peak(inputs.core_temps_c, &proposed_powers, horizon)?;
+        let predicted_peak = self.predictor.predict_peak_with(
+            inputs.core_temps_c,
+            &proposed_powers,
+            horizon,
+            &mut self.scratch,
+        )?;
         if predicted_peak <= constraint {
             return Ok(DtpmDecision {
                 state: inputs.proposed.clone(),
@@ -199,28 +226,39 @@ impl DtpmPolicy {
         }
 
         // Step 2: a violation is predicted — compute the power budget for the
-        // active cluster.
+        // active cluster from the cached horizon matrices.
+        if self.horizon_cache.as_ref().map(|c| c.0) != Some(horizon) {
+            let (a_n, b_n) = self.predictor.model().horizon_matrices(horizon)?;
+            self.horizon_cache = Some((horizon, a_n, b_n));
+        }
+        let (_, a_n, b_n) = self
+            .horizon_cache
+            .as_ref()
+            .expect("horizon cache was just filled");
         let cluster = inputs.proposed.active_cluster;
         let domain = PowerDomain::from_cluster(cluster);
         let opps = spec.cluster_opps(cluster);
         let proposed_freq = inputs.proposed.cluster_frequency(cluster);
         let proposed_voltage = opps.voltage_for(proposed_freq)?;
         let leakage = power_model.predict_leakage(domain, hot_temp, proposed_voltage);
-        let budget = PowerBudget::compute(
+        let budget = PowerBudget::compute_with(
             &self.predictor,
             inputs.core_temps_c,
             &proposed_powers,
             domain,
             constraint,
-            horizon,
+            a_n,
+            b_n,
             leakage,
         )?;
 
         // Step 3: highest frequency not above the proposal whose predicted
         // dynamic power fits the dynamic budget (Eqs. 5.7 / 5.8).
         let fits = |freq: Frequency, ratio: f64| -> Result<bool, DtpmError> {
-            Ok(self.predicted_cluster_dynamic(power_model, spec, cluster, freq, ratio)?
-                <= budget.dynamic_w)
+            Ok(
+                self.predicted_cluster_dynamic(power_model, spec, cluster, freq, ratio)?
+                    <= budget.dynamic_w,
+            )
         };
         let candidate = self.highest_fitting_frequency(opps, proposed_freq, |f| fits(f, 1.0))?;
         if let Some(freq) = candidate {
@@ -403,11 +441,7 @@ mod tests {
         model
     }
 
-    fn inputs<'a>(
-        spec: &'a SocSpec,
-        temps: [f64; 4],
-        big_power_w: f64,
-    ) -> DtpmInputs<'a> {
+    fn inputs<'a>(spec: &'a SocSpec, temps: [f64; 4], big_power_w: f64) -> DtpmInputs<'a> {
         DtpmInputs {
             spec,
             proposed: PlatformState::default_for(spec),
@@ -421,7 +455,9 @@ mod tests {
         let spec = SocSpec::odroid_xu_e();
         let mut policy = DtpmPolicy::new(DtpmConfig::default(), predictor());
         let model = trained_power_model(3.5);
-        let decision = policy.decide(&inputs(&spec, [42.0; 4], 3.6), &model).unwrap();
+        let decision = policy
+            .decide(&inputs(&spec, [42.0; 4], 3.6), &model)
+            .unwrap();
         assert_eq!(decision.action, DtpmAction::Affirmed);
         assert_eq!(decision.state, PlatformState::default_for(&spec));
         assert!(decision.budget.is_none());
@@ -558,7 +594,22 @@ mod tests {
         };
         let mut policy = DtpmPolicy::new(config, predictor());
         let model = trained_power_model(3.0);
-        assert!(policy.decide(&inputs(&spec, [50.0; 4], 3.0), &model).is_err());
+        assert!(policy
+            .decide(&inputs(&spec, [50.0; 4], 3.0), &model)
+            .is_err());
+    }
+
+    #[test]
+    fn policies_compare_by_configuration_not_scratch_state() {
+        let spec = SocSpec::odroid_xu_e();
+        let mut a = DtpmPolicy::new(DtpmConfig::default(), predictor());
+        let b = DtpmPolicy::new(DtpmConfig::default(), predictor());
+        assert_eq!(a, b);
+        // Making a decision fills the scratch buffers and the horizon cache;
+        // the policy is still behaviourally identical.
+        let model = trained_power_model(3.5);
+        a.decide(&inputs(&spec, [62.0; 4], 3.7), &model).unwrap();
+        assert_eq!(a, b);
     }
 
     #[test]

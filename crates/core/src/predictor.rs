@@ -47,6 +47,21 @@ pub struct ThermalPredictor {
     ambient_c: f64,
 }
 
+/// Reusable buffers for the allocation-free prediction path
+/// ([`ThermalPredictor::predict_with`]).
+///
+/// The DTPM policy holds one of these and reuses it for every control
+/// interval, so steady-state prediction does not touch the heap.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct PredictorScratch {
+    /// Temperatures relative to ambient (input/output of the model loop).
+    rel: Vector,
+    /// Power inputs.
+    p: Vector,
+    /// Ping-pong buffer for the model iteration.
+    tmp: Vector,
+}
+
 impl ThermalPredictor {
     /// Creates a predictor from an identified model and the ambient
     /// temperature its training data was referenced to.
@@ -56,7 +71,8 @@ impl ThermalPredictor {
     /// Returns [`DtpmError::ModelShape`] if the model does not have four
     /// states and four inputs.
     pub fn new(model: DiscreteThermalModel, ambient_c: f64) -> Result<Self, DtpmError> {
-        if model.state_count() != HOTSPOT_COUNT || model.input_count() != DomainPower::default().to_vec().len()
+        if model.state_count() != HOTSPOT_COUNT
+            || model.input_count() != DomainPower::default().to_vec().len()
         {
             return Err(DtpmError::ModelShape {
                 states: model.state_count(),
@@ -88,14 +104,65 @@ impl ThermalPredictor {
         powers: &DomainPower,
         horizon: usize,
     ) -> Result<[f64; HOTSPOT_COUNT], DtpmError> {
-        let rel = Vector::from_iter(core_temps_c.iter().map(|t| t - self.ambient_c));
-        let p = Vector::from_slice(&powers.to_vec());
-        let predicted = self.model.predict_constant_power(&rel, &p, horizon)?;
+        self.predict_with(
+            core_temps_c,
+            powers,
+            horizon,
+            &mut PredictorScratch::default(),
+        )
+    }
+
+    /// Allocation-free form of [`ThermalPredictor::predict`]: all intermediate
+    /// state lives in `scratch`, which callers on the control path hold and
+    /// reuse across intervals.
+    ///
+    /// # Errors
+    ///
+    /// Propagates thermal-model errors (zero horizon, dimension mismatch).
+    pub fn predict_with(
+        &self,
+        core_temps_c: [f64; HOTSPOT_COUNT],
+        powers: &DomainPower,
+        horizon: usize,
+        scratch: &mut PredictorScratch,
+    ) -> Result<[f64; HOTSPOT_COUNT], DtpmError> {
+        scratch.rel.resize(HOTSPOT_COUNT, 0.0);
+        for (i, t) in core_temps_c.iter().enumerate() {
+            scratch.rel[i] = t - self.ambient_c;
+        }
+        let p = powers.as_array();
+        scratch.p.resize(p.len(), 0.0);
+        scratch.p.as_mut_slice().copy_from_slice(&p);
+        self.model.predict_constant_power_into(
+            &mut scratch.rel,
+            &scratch.p,
+            horizon,
+            &mut scratch.tmp,
+        )?;
         let mut out = [0.0; HOTSPOT_COUNT];
         for (i, slot) in out.iter_mut().enumerate() {
-            *slot = predicted[i] + self.ambient_c;
+            *slot = scratch.rel[i] + self.ambient_c;
         }
         Ok(out)
+    }
+
+    /// Predicted maximum hotspot temperature at the horizon (°C),
+    /// allocation-free form of [`ThermalPredictor::predict_peak`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates thermal-model errors.
+    pub fn predict_peak_with(
+        &self,
+        core_temps_c: [f64; HOTSPOT_COUNT],
+        powers: &DomainPower,
+        horizon: usize,
+        scratch: &mut PredictorScratch,
+    ) -> Result<f64, DtpmError> {
+        Ok(self
+            .predict_with(core_temps_c, powers, horizon, scratch)?
+            .into_iter()
+            .fold(f64::NEG_INFINITY, f64::max))
     }
 
     /// Predicted maximum hotspot temperature at the horizon (°C).
@@ -157,8 +224,9 @@ mod tests {
 
     #[test]
     fn rejects_wrong_model_shape() {
-        let model = DiscreteThermalModel::new(Matrix::identity(2).scale(0.9), Matrix::zeros(2, 4), 0.1)
-            .unwrap();
+        let model =
+            DiscreteThermalModel::new(Matrix::identity(2).scale(0.9), Matrix::zeros(2, 4), 0.1)
+                .unwrap();
         assert!(matches!(
             ThermalPredictor::new(model, 25.0),
             Err(DtpmError::ModelShape { .. })
@@ -196,7 +264,7 @@ mod tests {
             .predict([60.0, 58.0, 59.0, 61.0], &DomainPower::default(), 100)
             .unwrap();
         for t in predicted {
-            assert!(t < 45.0 && t >= 28.0 - 1e-9);
+            assert!((28.0 - 1e-9..45.0).contains(&t));
         }
     }
 

@@ -108,7 +108,8 @@ impl CpufreqGovernor for InteractiveGovernor {
         } else {
             target_mhz
         };
-        opps.ceil(Frequency::from_mhz(chosen.ceil() as u32)).frequency
+        opps.ceil(Frequency::from_mhz(chosen.ceil() as u32))
+            .frequency
     }
 
     fn name(&self) -> &'static str {
@@ -244,11 +245,15 @@ mod tests {
     fn performance_and_powersave_pin_the_extremes() {
         let opps = OppTable::exynos5410_little();
         assert_eq!(
-            PerformanceGovernor.select_frequency(&input(0.1, 500), &opps).mhz(),
+            PerformanceGovernor
+                .select_frequency(&input(0.1, 500), &opps)
+                .mhz(),
             1200
         );
         assert_eq!(
-            PowersaveGovernor.select_frequency(&input(1.0, 1200), &opps).mhz(),
+            PowersaveGovernor
+                .select_frequency(&input(1.0, 1200), &opps)
+                .mhz(),
             500
         );
     }

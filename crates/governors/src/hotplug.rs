@@ -41,13 +41,13 @@ impl HotplugGovernor {
     pub fn select_core_count(&self, runnable_streams: f64, currently_online: usize) -> usize {
         let mut online = currently_online.clamp(self.min_cores, self.max_cores);
         // Bring cores up as long as demand exceeds the current capacity.
-        while online < self.max_cores && runnable_streams > (online as f64 - 1.0) + self.up_margin + 1.0
+        while online < self.max_cores
+            && runnable_streams > (online as f64 - 1.0) + self.up_margin + 1.0
         {
             online += 1;
         }
         // Take cores down while there is comfortable slack.
-        while online > self.min_cores
-            && runnable_streams < (online as f64 - 1.0) - self.down_margin
+        while online > self.min_cores && runnable_streams < (online as f64 - 1.0) - self.down_margin
         {
             online -= 1;
         }

@@ -165,9 +165,7 @@ where
                 }
                 Err(e) => return Err(e),
             };
-            let candidate = Vector::from_iter(
-                params.iter().zip(delta.iter()).map(|(p, d)| p + d),
-            );
+            let candidate = Vector::from_iter(params.iter().zip(delta.iter()).map(|(p, d)| p + d));
             let candidate_res = residual_fn(&candidate);
             let candidate_cost = if candidate_res.is_finite() {
                 cost_of(&candidate_res)
@@ -182,8 +180,7 @@ where
                 cost = candidate_cost;
                 damping = (damping * 0.5).max(1e-12);
                 step_accepted = true;
-                if relative_decrease < options.cost_tolerance
-                    || step_size < options.step_tolerance
+                if relative_decrease < options.cost_tolerance || step_size < options.step_tolerance
                 {
                     converged = true;
                 }
@@ -262,9 +259,12 @@ mod tests {
             &Vector::from_slice(&[1.0e-6, -500.0, 0.0]),
             &FitOptions::default(),
             |p| {
-                Vector::from_iter(temps.iter().zip(&currents).map(|(t, i)| {
-                    p[0] * t * t * (p[1] / t).exp() + p[2] - i
-                }))
+                Vector::from_iter(
+                    temps
+                        .iter()
+                        .zip(&currents)
+                        .map(|(t, i)| p[0] * t * t * (p[1] / t).exp() + p[2] - i),
+                )
             },
         )
         .unwrap();
@@ -273,7 +273,10 @@ mod tests {
         for (t, i_true) in temps.iter().zip(&currents) {
             let p = &report.parameters;
             let i_fit = p[0] * t * t * (p[1] / t).exp() + p[2];
-            assert!((i_fit - i_true).abs() < 1e-6, "at T={t}: {i_fit} vs {i_true}");
+            assert!(
+                (i_fit - i_true).abs() < 1e-6,
+                "at T={t}: {i_fit} vs {i_true}"
+            );
         }
     }
 
@@ -297,23 +300,20 @@ mod tests {
 
     #[test]
     fn rejects_non_finite_initial_residuals() {
-        let r = levenberg_marquardt(
-            &Vector::from_slice(&[1.0]),
-            &FitOptions::default(),
-            |_| Vector::from_slice(&[f64::NAN, 1.0]),
-        );
+        let r = levenberg_marquardt(&Vector::from_slice(&[1.0]), &FitOptions::default(), |_| {
+            Vector::from_slice(&[f64::NAN, 1.0])
+        });
         assert!(r.is_err());
     }
 
     #[test]
     fn already_optimal_terminates_quickly() {
         // Residuals independent of parameters -> first iteration accepts nothing and converges.
-        let report = levenberg_marquardt(
-            &Vector::from_slice(&[5.0]),
-            &FitOptions::default(),
-            |p| Vector::from_slice(&[p[0] - 5.0, 0.0]),
-        )
-        .unwrap();
+        let report =
+            levenberg_marquardt(&Vector::from_slice(&[5.0]), &FitOptions::default(), |p| {
+                Vector::from_slice(&[p[0] - 5.0, 0.0])
+            })
+            .unwrap();
         assert!(report.iterations <= 3);
         assert!(report.cost < 1e-20);
     }

@@ -51,7 +51,9 @@ impl Table1d {
     /// different lengths, non-finite, or `xs` is not strictly increasing.
     pub fn new(xs: Vec<f64>, ys: Vec<f64>) -> Result<Self, NumericError> {
         if xs.is_empty() || ys.is_empty() {
-            return Err(NumericError::InvalidArgument("interpolation table is empty"));
+            return Err(NumericError::InvalidArgument(
+                "interpolation table is empty",
+            ));
         }
         if xs.len() != ys.len() {
             return Err(NumericError::InvalidArgument(
@@ -89,7 +91,9 @@ impl Table1d {
     /// Returns [`NumericError::InvalidArgument`] if `x` is not finite.
     pub fn lookup(&self, x: f64) -> Result<f64, NumericError> {
         if !x.is_finite() {
-            return Err(NumericError::InvalidArgument("lookup abscissa is not finite"));
+            return Err(NumericError::InvalidArgument(
+                "lookup abscissa is not finite",
+            ));
         }
         if x <= self.xs[0] {
             return Ok(self.ys[0]);

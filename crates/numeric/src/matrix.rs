@@ -83,7 +83,9 @@ impl Matrix {
     /// lengths or the input is empty.
     pub fn from_rows(rows: &[&[f64]]) -> Result<Self, NumericError> {
         if rows.is_empty() || rows[0].is_empty() {
-            return Err(NumericError::InvalidArgument("matrix rows must be non-empty"));
+            return Err(NumericError::InvalidArgument(
+                "matrix rows must be non-empty",
+            ));
         }
         let cols = rows[0].len();
         if rows.iter().any(|r| r.len() != cols) {
@@ -209,6 +211,59 @@ impl Matrix {
         Ok(Vector::from_iter((0..self.rows).map(|i| {
             (0..self.cols).map(|j| self[(i, j)] * v[j]).sum::<f64>()
         })))
+    }
+
+    /// Matrix–vector product `self · v` written into `out` without
+    /// allocating (`out` is resized to the row count if needed).
+    ///
+    /// This is the scratch-reuse form of [`Matrix::mul_vector`] used by the
+    /// simulation and prediction hot paths.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::DimensionMismatch`] if `self.cols() != v.len()`.
+    pub fn mul_vec_into(&self, v: &Vector, out: &mut Vector) -> Result<(), NumericError> {
+        if self.cols != v.len() {
+            return Err(NumericError::DimensionMismatch {
+                operation: "matrix-vector multiplication",
+                left: (self.rows, self.cols),
+                right: (v.len(), 1),
+            });
+        }
+        out.resize(self.rows, 0.0);
+        for i in 0..self.rows {
+            let row = &self.data[i * self.cols..(i + 1) * self.cols];
+            out[i] = row.iter().zip(v.iter()).map(|(a, x)| a * x).sum::<f64>();
+        }
+        Ok(())
+    }
+
+    /// Accumulating matrix–vector product: `out += self · v`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::DimensionMismatch`] if `self.cols() != v.len()`
+    /// or `out.len() != self.rows()`.
+    pub fn mul_vec_acc_into(&self, v: &Vector, out: &mut Vector) -> Result<(), NumericError> {
+        if self.cols != v.len() {
+            return Err(NumericError::DimensionMismatch {
+                operation: "matrix-vector multiplication",
+                left: (self.rows, self.cols),
+                right: (v.len(), 1),
+            });
+        }
+        if out.len() != self.rows {
+            return Err(NumericError::DimensionMismatch {
+                operation: "matrix-vector accumulation",
+                left: (self.rows, self.cols),
+                right: (out.len(), 1),
+            });
+        }
+        for i in 0..self.rows {
+            let row = &self.data[i * self.cols..(i + 1) * self.cols];
+            out[i] += row.iter().zip(v.iter()).map(|(a, x)| a * x).sum::<f64>();
+        }
+        Ok(())
     }
 
     /// Element-wise sum `self + other`.
@@ -401,6 +456,9 @@ impl Vector {
     }
 
     /// Creates a vector by collecting an iterator.
+    // An inherent convenience next to the `FromIterator` impl below; the
+    // shared name is intentional.
+    #[allow(clippy::should_implement_trait)]
     pub fn from_iter(values: impl IntoIterator<Item = f64>) -> Self {
         Vector {
             data: values.into_iter().collect(),
@@ -420,6 +478,17 @@ impl Vector {
     /// Returns the elements as a slice.
     pub fn as_slice(&self) -> &[f64] {
         &self.data
+    }
+
+    /// Returns the elements as a mutable slice.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Resizes the vector in place, filling new slots with `value` (scratch
+    /// reuse: resizing to an already-held capacity does not allocate).
+    pub fn resize(&mut self, n: usize, value: f64) {
+        self.data.resize(n, value);
     }
 
     /// Consumes the vector and returns the underlying `Vec`.
@@ -600,7 +669,10 @@ mod tests {
         let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
         let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]).unwrap();
         let c = a.mul(&b).unwrap();
-        assert_eq!(c, Matrix::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]).unwrap());
+        assert_eq!(
+            c,
+            Matrix::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]).unwrap()
+        );
     }
 
     #[test]

@@ -255,7 +255,8 @@ mod tests {
 
     #[test]
     fn determinant_matches_hand_computation() {
-        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0], &[7.0, 8.0, 10.0]]).unwrap();
+        let a =
+            Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0], &[7.0, 8.0, 10.0]]).unwrap();
         assert_close(a.determinant().unwrap(), -3.0, 1e-10);
     }
 

@@ -60,10 +60,17 @@ impl DomainPower {
         self.big_w + self.little_w + self.gpu_w + self.memory_w
     }
 
+    /// The breakdown as a `[big, little, gpu, mem]` array (the ordering used
+    /// by the thermal model) — the allocation-free form of
+    /// [`DomainPower::to_vec`].
+    pub fn as_array(&self) -> [f64; 4] {
+        [self.big_w, self.little_w, self.gpu_w, self.memory_w]
+    }
+
     /// The breakdown as a `[big, little, gpu, mem]` vector, the ordering used
     /// by the thermal model.
     pub fn to_vec(&self) -> Vec<f64> {
-        vec![self.big_w, self.little_w, self.gpu_w, self.memory_w]
+        self.as_array().to_vec()
     }
 
     /// Element-wise maximum of two breakdowns.
@@ -78,9 +85,7 @@ impl DomainPower {
 
     /// Returns `true` if all four values are finite and non-negative.
     pub fn is_physical(&self) -> bool {
-        self.to_vec()
-            .iter()
-            .all(|p| p.is_finite() && *p >= 0.0)
+        self.to_vec().iter().all(|p| p.is_finite() && *p >= 0.0)
     }
 }
 

@@ -234,7 +234,10 @@ mod tests {
         }
         let heavy = est.alpha_c();
         assert!(light < 0.1e-9);
-        assert!(heavy > 0.25e-9, "estimator must converge towards the heavy phase");
+        assert!(
+            heavy > 0.25e-9,
+            "estimator must converge towards the heavy phase"
+        );
     }
 
     #[test]

@@ -86,6 +86,7 @@ impl FurnaceDataset {
     /// ambient (`die_offset_c`); `noise` is called once per sample and its
     /// return value (watts) is added to the measurement to emulate sensor
     /// noise. `sample_period_s` and `duration_s` control the log density.
+    #[allow(clippy::too_many_arguments)]
     pub fn synthesize(
         leakage: &LeakageModel,
         supply: Voltage,
@@ -111,10 +112,7 @@ impl FurnaceDataset {
                     }
                 })
                 .collect();
-            runs.push(FurnaceRun {
-                ambient_c,
-                samples,
-            });
+            runs.push(FurnaceRun { ambient_c, samples });
         }
         FurnaceDataset {
             supply,
@@ -184,7 +182,11 @@ mod tests {
         let ds = paper_like_dataset(no_noise());
         let means: Vec<f64> = ds.runs.iter().map(|r| r.mean_power_w()).collect();
         assert!(means.windows(2).all(|w| w[1] > w[0]), "{means:?}");
-        assert!(means[4] - means[0] > 0.1, "spread {:.3} W", means[4] - means[0]);
+        assert!(
+            means[4] - means[0] > 0.1,
+            "spread {:.3} W",
+            means[4] - means[0]
+        );
     }
 
     #[test]
@@ -215,7 +217,10 @@ mod tests {
         let fitted = ds.fit_leakage().unwrap();
         let p40 = fitted.power_w(Voltage::from_volts(1.2), 42.0);
         let p80 = fitted.power_w(Voltage::from_volts(1.2), 82.0);
-        assert!(p80 > 2.0 * p40, "fitted model must keep the exponential shape");
+        assert!(
+            p80 > 2.0 * p40,
+            "fitted model must keep the exponential shape"
+        );
     }
 
     #[test]

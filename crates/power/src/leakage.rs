@@ -77,6 +77,32 @@ impl LeakageParams {
     }
 }
 
+/// Leakage currents for `N` (domain, temperature) pairs at once,
+/// bit-identical to `N` separate [`LeakageModel::current_a`] calls.
+///
+/// The batched, branch-free form lets the compiler vectorise the temperature
+/// conversions and the `c2/T` divisions and lets the `exp` latency chains
+/// overlap — the plant simulator evaluates every domain's leakage this way
+/// once per micro-step, millions of times per simulated run.
+#[inline]
+pub fn currents_batch<const N: usize>(models: [&LeakageModel; N], temps_c: [f64; N]) -> [f64; N] {
+    let mut pre = [0.0f64; N];
+    let mut arg = [0.0f64; N];
+    for k in 0..N {
+        let t = celsius_to_kelvin(temps_c[k]);
+        pre[k] = models[k].params.c1 * t * t;
+        arg[k] = models[k].params.c2 / t;
+    }
+    let mut out = [0.0f64; N];
+    for k in 0..N {
+        out[k] = arg[k].exp();
+    }
+    for k in 0..N {
+        out[k] = pre[k] * out[k] + models[k].params.igate_a;
+    }
+    out
+}
+
 /// Temperature-dependent leakage model for one power domain.
 ///
 /// # Example
@@ -127,6 +153,7 @@ impl LeakageModel {
     }
 
     /// Leakage current at the given die temperature, in amperes.
+    #[inline]
     pub fn current_a(&self, temp_c: f64) -> f64 {
         let t = celsius_to_kelvin(temp_c);
         self.params.c1 * t * t * (self.params.c2 / t).exp() + self.params.igate_a
@@ -167,7 +194,9 @@ impl LeakageModel {
             });
         }
         if supply.volts() <= 0.0 {
-            return Err(PowerError::InvalidArgument("supply voltage must be positive"));
+            return Err(PowerError::InvalidArgument(
+                "supply voltage must be positive",
+            ));
         }
         if dynamic_w < 0.0 {
             return Err(PowerError::InvalidArgument(
@@ -217,6 +246,16 @@ impl LeakageModel {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn currents_batch_is_bit_identical_to_scalar() {
+        let model = LeakageModel::exynos5410_big();
+        let temps = [41.25, 55.5, 68.875, 83.0625];
+        let batched = currents_batch([&model; 4], temps);
+        for k in 0..4 {
+            assert_eq!(batched[k], model.current_a(temps[k]), "lane {k}");
+        }
+    }
 
     #[test]
     fn leakage_grows_with_temperature() {
@@ -308,12 +347,8 @@ mod tests {
     #[test]
     fn fit_rejects_non_positive_voltage_and_negative_dynamic() {
         let samples = [(40.0, 0.4), (50.0, 0.45), (60.0, 0.5), (70.0, 0.55)];
-        assert!(
-            LeakageModel::fit_from_furnace(&samples, Voltage::from_volts(0.0), 0.3).is_err()
-        );
-        assert!(
-            LeakageModel::fit_from_furnace(&samples, Voltage::from_volts(1.2), -0.1).is_err()
-        );
+        assert!(LeakageModel::fit_from_furnace(&samples, Voltage::from_volts(0.0), 0.3).is_err());
+        assert!(LeakageModel::fit_from_furnace(&samples, Voltage::from_volts(1.2), -0.1).is_err());
     }
 
     #[test]

@@ -212,7 +212,8 @@ impl PowerModel {
         voltage: Voltage,
         frequency: Frequency,
     ) -> f64 {
-        self.domain(domain).predict_total(temp_c, voltage, frequency)
+        self.domain(domain)
+            .predict_total(temp_c, voltage, frequency)
     }
 
     /// Predicted leakage power of `domain` at a temperature and voltage.

@@ -134,7 +134,10 @@ impl CalibrationCampaign {
 
         let mut samples = Vec::new();
         let mut dynamic_w = 0.0;
-        for (i, &setpoint) in power_model::FurnaceDataset::PAPER_SWEEP_C.iter().enumerate() {
+        for (i, &setpoint) in power_model::FurnaceDataset::PAPER_SWEEP_C
+            .iter()
+            .enumerate()
+        {
             let furnace_spec = spec.clone().with_ambient_c(setpoint);
             let mut plant = PhysicalPlant::new(furnace_spec, self.plant);
             // Soak the board at the furnace setpoint.
@@ -159,8 +162,11 @@ impl CalibrationCampaign {
                     self.control_period_s,
                 )?;
                 if step_idx >= settle_steps {
-                    let reading =
-                        sensors.sample(step.core_temps_c, &step.domain_power, step.platform_power_w);
+                    let reading = sensors.sample(
+                        step.core_temps_c,
+                        &step.domain_power,
+                        step.platform_power_w,
+                    );
                     temp_sum += reading.max_core_temp_c();
                     power_sum += reading.domain_power.big_w;
                     count += 1;
@@ -266,14 +272,13 @@ impl CalibrationCampaign {
                     spec.big_opps().lowest().frequency
                 };
                 governor.set_frequency(freq);
-                state.big_frequency = governor
-                    .select_frequency(
-                        &governors::GovernorInput {
-                            load: 1.0,
-                            current: state.big_frequency,
-                        },
-                        spec.big_opps(),
-                    );
+                state.big_frequency = governor.select_frequency(
+                    &governors::GovernorInput {
+                        load: 1.0,
+                        current: state.big_frequency,
+                    },
+                    spec.big_opps(),
+                );
                 demand.cpu_streams = 4.0;
                 demand.activity_factor = if high { 0.75 } else { 0.55 };
             }
@@ -340,10 +345,7 @@ impl PhysicalPlant {
         demand: &Demand,
     ) -> Result<f64, SimError> {
         let spec = SocSpec::odroid_xu_e();
-        let volts = spec
-            .big_opps()
-            .voltage_for(state.big_frequency)?
-            .volts();
+        let volts = spec.big_opps().voltage_for(state.big_frequency)?.volts();
         let v2f = volts * volts * state.big_frequency.hz();
         let mut dynamic = self.params().big_uncore_ceff_f * v2f;
         let online = state.online_core_count(ClusterKind::Big) as f64;
@@ -390,11 +392,17 @@ mod tests {
             ..CalibrationCampaign::default()
         };
         let calibration = campaign.run(3).unwrap();
-        let leak = calibration.power_model.domain(PowerDomain::BigCpu).leakage();
+        let leak = calibration
+            .power_model
+            .domain(PowerDomain::BigCpu)
+            .leakage();
         let v = soc_model::Voltage::from_volts(1.2);
         let cool = leak.power_w(v, 42.0);
         let hot = leak.power_w(v, 82.0);
-        assert!(hot > 1.8 * cool, "fitted leakage not temperature sensitive: {cool} -> {hot}");
+        assert!(
+            hot > 1.8 * cool,
+            "fitted leakage not temperature sensitive: {cool} -> {hot}"
+        );
     }
 
     #[test]

@@ -172,13 +172,18 @@ impl Experiment {
         } else {
             SensorSuite::odroid_defaults(config.seed)
         };
-        let workload = WorkloadState::new(config.benchmark, config.seed.wrapping_mul(31).wrapping_add(7));
+        let workload = WorkloadState::new(
+            config.benchmark,
+            config.seed.wrapping_mul(31).wrapping_add(7),
+        );
         let fan = match config.kind {
             ExperimentKind::DefaultWithFan => FanController::odroid_default(),
             _ => FanController::disabled(),
         };
         let dtpm_policy = match config.kind {
-            ExperimentKind::Dtpm => Some(DtpmPolicy::new(config.dtpm, calibration.predictor.clone())),
+            ExperimentKind::Dtpm => {
+                Some(DtpmPolicy::new(config.dtpm, calibration.predictor.clone()))
+            }
             _ => None,
         };
         let state = PlatformState::default_for(&spec);
@@ -221,9 +226,10 @@ impl Experiment {
         proposal.big_frequency = freq;
 
         // Core count from the hotplug governor.
-        let online_target = self
-            .hotplug
-            .select_core_count(demand.cpu_streams, proposal.online_core_count(ClusterKind::Big));
+        let online_target = self.hotplug.select_core_count(
+            demand.cpu_streams,
+            proposal.online_core_count(ClusterKind::Big),
+        );
         for core in 0..4 {
             proposal.set_core_online(ClusterKind::Big, core, core < online_target);
         }
@@ -231,10 +237,12 @@ impl Experiment {
         // GPU frequency follows GPU utilisation.
         let gpu_opps = self.spec.gpu_opps();
         proposal.gpu_frequency = if demand.gpu_utilization > 0.05 {
-            let target_mhz =
-                gpu_opps.highest().frequency.mhz() as f64 * demand.gpu_utilization.clamp(0.0, 1.0)
-                    / 0.85;
-            gpu_opps.ceil(Frequency::from_mhz(target_mhz.ceil() as u32)).frequency
+            let target_mhz = gpu_opps.highest().frequency.mhz() as f64
+                * demand.gpu_utilization.clamp(0.0, 1.0)
+                / 0.85;
+            gpu_opps
+                .ceil(Frequency::from_mhz(target_mhz.ceil() as u32))
+                .frequency
         } else {
             gpu_opps.lowest().frequency
         };
@@ -257,8 +265,11 @@ impl Experiment {
         // Bootstrap sensor readings from the initial plant state.
         let mut readings: SensorReadings = {
             let temps = self.plant.core_temps_c();
-            self.sensors
-                .sample(temps, &power_model::DomainPower::default(), self.config.plant.board_base_w)
+            self.sensors.sample(
+                temps,
+                &power_model::DomainPower::default(),
+                self.config.plant.board_base_w,
+            )
         };
 
         for _ in 0..max_steps {
@@ -340,11 +351,9 @@ impl Experiment {
             energy_j += step.platform_power_w * control_period;
 
             // Sample the sensors for the next interval's decisions.
-            readings = self.sensors.sample(
-                step.core_temps_c,
-                &step.domain_power,
-                step.platform_power_w,
-            );
+            readings =
+                self.sensors
+                    .sample(step.core_temps_c, &step.domain_power, step.platform_power_w);
 
             trace.push(TraceRecord {
                 time_s,
@@ -377,4 +386,113 @@ impl Experiment {
             energy_j,
         })
     }
+}
+
+/// Runs many independent experiment configurations across worker threads.
+///
+/// Every configuration is a self-contained closed-loop simulation (own plant,
+/// sensors, workload and seed), so a sweep is embarrassingly parallel: the
+/// runner shares one [`Calibration`] across `std::thread::scope` workers that
+/// pull configurations from an atomic work queue. Results come back in input
+/// order and are identical to running each configuration sequentially.
+///
+/// # Example
+///
+/// ```no_run
+/// use platform_sim::{CalibrationCampaign, ExperimentConfig, ExperimentKind, ScenarioSweep};
+/// use workload::BenchmarkId;
+///
+/// # fn main() -> Result<(), platform_sim::SimError> {
+/// let calibration = CalibrationCampaign::default().run(7)?;
+/// let configs: Vec<ExperimentConfig> = (0..16)
+///     .map(|seed| {
+///         ExperimentConfig::new(ExperimentKind::Dtpm, BenchmarkId::Templerun)
+///             .with_seed(seed)
+///     })
+///     .collect();
+/// let results = ScenarioSweep::new(configs).run(&calibration);
+/// assert_eq!(results.len(), 16);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ScenarioSweep {
+    configs: Vec<ExperimentConfig>,
+    threads: usize,
+}
+
+impl ScenarioSweep {
+    /// Creates a sweep over the given configurations using one worker per
+    /// available CPU (capped at the number of configurations).
+    pub fn new(configs: Vec<ExperimentConfig>) -> Self {
+        let parallelism = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        ScenarioSweep {
+            threads: parallelism.min(configs.len()).max(1),
+            configs,
+        }
+    }
+
+    /// Overrides the worker-thread count (clamped to at least one).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// The configurations in this sweep.
+    pub fn configs(&self) -> &[ExperimentConfig] {
+        &self.configs
+    }
+
+    /// The worker-thread count the sweep will use.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs every configuration and returns one result per configuration, in
+    /// input order. Individual failures do not abort the sweep.
+    pub fn run(&self, calibration: &Calibration) -> Vec<Result<SimulationResult, SimError>> {
+        let mut results: Vec<Option<Result<SimulationResult, SimError>>> =
+            (0..self.configs.len()).map(|_| None).collect();
+        if self.configs.is_empty() {
+            return Vec::new();
+        }
+
+        if self.threads == 1 {
+            for (config, slot) in self.configs.iter().zip(results.iter_mut()) {
+                *slot = Some(run_one(config, calibration));
+            }
+        } else {
+            let next = std::sync::atomic::AtomicUsize::new(0);
+            let results_mutex = std::sync::Mutex::new(&mut results);
+            std::thread::scope(|scope| {
+                for _ in 0..self.threads {
+                    scope.spawn(|| loop {
+                        let index = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        let Some(config) = self.configs.get(index) else {
+                            break;
+                        };
+                        let result = run_one(config, calibration);
+                        results_mutex
+                            .lock()
+                            .expect("a sweep worker panicked while storing a result")[index] =
+                            Some(result);
+                    });
+                }
+            });
+        }
+
+        results
+            .into_iter()
+            .map(|slot| slot.expect("every sweep slot is filled"))
+            .collect()
+    }
+}
+
+fn run_one(
+    config: &ExperimentConfig,
+    calibration: &Calibration,
+) -> Result<SimulationResult, SimError> {
+    Experiment::new(config.clone(), calibration)?.run()
 }

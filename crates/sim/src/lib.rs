@@ -30,6 +30,34 @@
 //!   configuration uses.
 //! * [`trace`], [`metrics`] — per-interval logging, CSV export and the
 //!   power/performance/stability summaries the figures are built from.
+//! * [`experiment::ScenarioSweep`] — runs many independent experiment
+//!   configurations across `std::thread::scope` workers (deterministic,
+//!   input-order results).
+//! * [`naive`] — the checked-in naive baseline of the plant integrator, kept
+//!   for benchmarking and trajectory-equivalence tests.
+//!
+//! # Hot-path architecture
+//!
+//! [`plant::PhysicalPlant::step_interval`] performs zero heap allocations per
+//! micro-step in steady state:
+//!
+//! * the node-power vector and integrator scratch live inside the plant and
+//!   are reused across micro-steps,
+//! * the fan enters the integrator as a [`thermal_model::FanBoost`] step
+//!   parameter instead of a cloned network, and the RK4 transition
+//!   ([`thermal_model::StepTransition`]) for the current (fan, ambient) pair
+//!   is cached across intervals,
+//! * the online-core list is a fixed-size array computed once per control
+//!   interval, and everything state/demand-dependent in the power computation
+//!   is hoisted out of the micro-step loop (only the temperature-dependent
+//!   leakage terms, evaluated with `power_model::currents_batch`, remain),
+//! * memory leakage is folded into the memory power floor
+//!   (`PlantPowerParams::memory_base_w`); no leakage model is evaluated for
+//!   the memory domain.
+//!
+//! The `plant_step` Criterion bench in the `bench` crate measures this engine
+//! against [`naive::NaivePhysicalPlant`] (acceptance bar: ≥ 5× micro-steps
+//! per second) and cross-checks that both produce the same trajectory.
 //!
 //! # Example
 //!
@@ -55,14 +83,18 @@ pub mod calibrate;
 pub mod error;
 pub mod experiment;
 pub mod metrics;
+pub mod naive;
 pub mod plant;
 pub mod sensors;
 pub mod trace;
 
 pub use calibrate::{Calibration, CalibrationCampaign};
 pub use error::SimError;
-pub use experiment::{Experiment, ExperimentConfig, ExperimentKind, SimulationResult};
+pub use experiment::{
+    Experiment, ExperimentConfig, ExperimentKind, ScenarioSweep, SimulationResult,
+};
 pub use metrics::{BenchmarkComparison, StabilityReport};
+pub use naive::NaivePhysicalPlant;
 pub use plant::{PhysicalPlant, PlantPowerParams};
 pub use sensors::{SensorReadings, SensorSuite};
 pub use trace::{Trace, TraceRecord};

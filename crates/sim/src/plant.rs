@@ -9,7 +9,7 @@
 use power_model::{DomainPower, LeakageModel, LeakageParams};
 use serde::{Deserialize, Serialize};
 use soc_model::{ClusterKind, FanLevel, PlatformState, SocSpec};
-use thermal_model::ExynosThermalNetwork;
+use thermal_model::{ExynosThermalNetwork, StepTransition};
 use workload::Demand;
 
 use crate::SimError;
@@ -77,6 +77,14 @@ pub struct PlantStep {
 }
 
 /// The physical plant: thermal network state plus true power computation.
+///
+/// Stepping is allocation-free in steady state: the node-power and integrator
+/// scratch buffers live inside the plant and are reused by every micro-step,
+/// the fan enters the integrator as a [`thermal_model::FanBoost`] step
+/// parameter (no network clone), the online-core list is a fixed-size array
+/// computed once per control interval, and the thermal ODE is advanced with a
+/// cached [`StepTransition`] (the precomputed affine form of one RK4 step,
+/// rebuilt only when the fan level or ambient changes).
 #[derive(Debug, Clone)]
 pub struct PhysicalPlant {
     spec: SocSpec,
@@ -86,9 +94,49 @@ pub struct PhysicalPlant {
     big_leak: LeakageModel,
     little_leak: LeakageModel,
     gpu_leak: LeakageModel,
-    mem_leak: LeakageModel,
     /// Integration step of the plant, much finer than the control interval.
     plant_dt_s: f64,
+    /// Reusable per-node power-injection vector.
+    node_powers: Vec<f64>,
+    /// Reusable integrator scratch for [`StepTransition::apply`].
+    step_tmp: Vec<f64>,
+    /// Cached RK4 transition, keyed by the (fan boost, ambient) it was built
+    /// for; rebuilt only when those change (fan steps are rare, ambient is
+    /// constant within an experiment).
+    transition: Option<CachedTransition>,
+}
+
+/// A [`StepTransition`] together with the key it was built for.
+#[derive(Debug, Clone)]
+struct CachedTransition {
+    fan_boost_bits: u64,
+    ambient_bits: u64,
+    transition: StepTransition,
+}
+
+/// Quantities of the true power computation that stay constant over one
+/// control interval (platform state and demand are held constant within an
+/// interval, so only the temperature-dependent leakage terms vary per
+/// micro-step).
+#[derive(Debug, Clone, Copy)]
+struct IntervalOps {
+    active_is_big: bool,
+    /// Voltage of the active cluster.
+    volts: f64,
+    /// Dynamic power of each online core, indexed by its slot in the online
+    /// list (work streams spill over the online cores in order).
+    slot_dynamic: [f64; 4],
+    /// Cluster-shared (uncore) power of the big cluster (big active only).
+    uncore: f64,
+    /// Per-online-core share of the uncore power (big active only).
+    uncore_share: f64,
+    /// Uncore + dynamic part of the little-cluster total (little active only).
+    little_base: f64,
+    /// Lowest-OPP voltage of the power-gated cluster (residual leakage).
+    idle_volts: f64,
+    gpu_volts: f64,
+    gpu_dynamic: f64,
+    mem_power: f64,
 }
 
 fn scaled(params: LeakageParams, factor: f64) -> LeakageModel {
@@ -110,11 +158,13 @@ impl PhysicalPlant {
             big_leak: scaled(LeakageParams::exynos5410_big(), params.leakage_mismatch),
             little_leak: scaled(LeakageParams::exynos5410_little(), params.leakage_mismatch),
             gpu_leak: scaled(LeakageParams::exynos5410_gpu(), params.leakage_mismatch),
-            mem_leak: scaled(LeakageParams::exynos5410_memory(), params.leakage_mismatch),
             spec,
             params,
             thermal,
             plant_dt_s: 0.01,
+            node_powers: vec![0.0; node_count],
+            step_tmp: vec![0.0; node_count],
+            transition: None,
         }
     }
 
@@ -141,115 +191,184 @@ impl PhysicalPlant {
         }
     }
 
-    /// True per-domain power for the given platform state and workload demand
-    /// at the current temperatures, together with per-core big powers.
-    fn domain_powers(
+    /// Precomputes everything about the true power computation that does not
+    /// depend on the evolving temperatures. Platform state, demand and fan are
+    /// held constant over a control interval, so this runs once per interval;
+    /// only the leakage terms in [`PhysicalPlant::domain_powers_at`] remain in
+    /// the per-micro-step path.
+    fn interval_ops(
         &self,
         state: &PlatformState,
         demand: &Demand,
-    ) -> Result<(DomainPower, [f64; 4]), SimError> {
+        online: &[usize],
+    ) -> Result<IntervalOps, SimError> {
         let spec = &self.spec;
-        let core_temps = self.core_temps_c();
-        let case_temp = self.node_temps_c[self.thermal.case_node().0];
-
-        let mut big_core_powers = [0.0f64; 4];
-        let mut big_total = 0.0;
-        let little_total;
-
-        // Work streams are spread over the online cores of the active cluster.
-        let active = state.active_cluster;
-        let online: Vec<usize> = (0..4)
-            .filter(|&i| state.is_core_online(active, i))
-            .collect();
         let per_core_utilisation = |slot: usize| -> f64 {
             // Stream `slot` gets the leftover demand after earlier cores.
             (demand.cpu_streams - slot as f64).clamp(0.0, 1.0)
         };
 
-        match active {
-            ClusterKind::Big => {
-                let freq = state.big_frequency;
-                let volts = spec.big_opps().voltage_for(freq)?.volts();
-                let v2f = volts * volts * freq.hz();
-                // Shared/uncore power (L2, interconnect, clock tree) of the
-                // powered cluster: it dissipates on the die, so it is spread
-                // across the online core nodes for the thermal network.
-                let uncore = self.params.big_uncore_ceff_f * v2f;
-                big_total += uncore;
-                let uncore_share = if online.is_empty() {
-                    0.0
-                } else {
-                    uncore / online.len() as f64
-                };
-                for (slot, &core) in online.iter().enumerate() {
-                    let util = per_core_utilisation(slot);
-                    let dynamic =
-                        self.params.big_core_ceff_f * demand.activity_factor * util * v2f;
-                    let leak =
-                        volts * self.big_leak.current_a(core_temps[core]) / 4.0;
-                    big_core_powers[core] = dynamic + leak + uncore_share;
-                    big_total += dynamic + leak;
-                }
-                // Offline cores still leak a gated fraction.
-                for core in 0..4 {
-                    if !state.is_core_online(ClusterKind::Big, core) {
-                        let leak = volts * self.big_leak.current_a(core_temps[core]) / 4.0
-                            * self.params.gated_leakage_fraction;
-                        big_core_powers[core] += leak;
-                        big_total += leak;
+        let mut slot_dynamic = [0.0f64; 4];
+        let (active_is_big, volts, uncore, uncore_share, little_base, idle_volts) =
+            match state.active_cluster {
+                ClusterKind::Big => {
+                    let freq = state.big_frequency;
+                    let volts = spec.big_opps().voltage_for(freq)?.volts();
+                    let v2f = volts * volts * freq.hz();
+                    // Shared/uncore power (L2, interconnect, clock tree) of the
+                    // powered cluster: it dissipates on the die, so it is
+                    // spread across the online core nodes for the thermal
+                    // network.
+                    let uncore = self.params.big_uncore_ceff_f * v2f;
+                    let uncore_share = if online.is_empty() {
+                        0.0
+                    } else {
+                        uncore / online.len() as f64
+                    };
+                    for (slot, slot_dyn) in slot_dynamic.iter_mut().enumerate().take(online.len()) {
+                        *slot_dyn = self.params.big_core_ceff_f
+                            * demand.activity_factor
+                            * per_core_utilisation(slot)
+                            * v2f;
                     }
+                    // The little cluster is power-gated.
+                    let lv = spec.little_opps().lowest().voltage.volts();
+                    (true, volts, uncore, uncore_share, 0.0, lv)
                 }
-                // The little cluster is power-gated.
-                let lv = spec.little_opps().lowest().voltage.volts();
-                little_total = lv
-                    * self.little_leak.current_a(case_temp)
-                    * self.params.gated_leakage_fraction;
-            }
-            ClusterKind::Little => {
-                let freq = state.little_frequency;
-                let volts = spec.little_opps().voltage_for(freq)?.volts();
-                let v2f = volts * volts * freq.hz();
-                little_total = self.params.little_uncore_ceff_f * v2f
-                    + lv_cluster_dynamic(
-                        self.params.little_core_ceff_f,
-                        demand,
-                        &online,
-                        v2f,
-                        per_core_utilisation,
-                    )
-                    + volts * self.little_leak.current_a(case_temp);
-                // Big cluster gated: residual leakage only, split across cores.
-                let bv = spec.big_opps().lowest().voltage.volts();
-                for core in 0..4 {
-                    let leak = bv * self.big_leak.current_a(core_temps[core]) / 4.0
-                        * self.params.gated_leakage_fraction;
-                    big_core_powers[core] = leak;
-                    big_total += leak;
+                ClusterKind::Little => {
+                    let freq = state.little_frequency;
+                    let volts = spec.little_opps().voltage_for(freq)?.volts();
+                    let v2f = volts * volts * freq.hz();
+                    let little_base = self.params.little_uncore_ceff_f * v2f
+                        + lv_cluster_dynamic(
+                            self.params.little_core_ceff_f,
+                            demand,
+                            online,
+                            v2f,
+                            per_core_utilisation,
+                        );
+                    // Big cluster gated: residual leakage only.
+                    let bv = spec.big_opps().lowest().voltage.volts();
+                    (false, volts, 0.0, 0.0, little_base, bv)
                 }
-            }
-        }
+            };
 
-        // GPU.
-        let gpu_temp = self.node_temps_c[self.thermal.gpu_node().0];
         let gpu_volts = spec.gpu_opps().voltage_for(state.gpu_frequency)?.volts();
         let gpu_dynamic = self.params.gpu_ceff_f
             * demand.gpu_utilization
             * gpu_volts
             * gpu_volts
             * state.gpu_frequency.hz();
-        let gpu_power = gpu_dynamic + gpu_volts * self.gpu_leak.current_a(gpu_temp);
 
-        // Memory.
-        let mem_temp = self.node_temps_c[self.thermal.memory_node().0];
-        let mem_power = self.params.memory_base_w
-            + self.params.memory_active_w * demand.memory_intensity
-            + 1.0 * self.mem_leak.current_a(mem_temp) * 0.0; // memory leakage folded into the base
-        let _ = mem_temp;
+        // Memory power: the measured floor plus the demand-proportional active
+        // part. Memory leakage is folded into `memory_base_w` (the INA231 rail
+        // measurement the floor was taken from includes it), so no leakage
+        // model is evaluated for the memory domain.
+        let mem_power =
+            self.params.memory_base_w + self.params.memory_active_w * demand.memory_intensity;
 
-        Ok((
-            DomainPower::new(big_total, little_total, gpu_power, mem_power),
-            big_core_powers,
-        ))
+        Ok(IntervalOps {
+            active_is_big,
+            volts,
+            slot_dynamic,
+            uncore,
+            uncore_share,
+            little_base,
+            idle_volts,
+            gpu_volts,
+            gpu_dynamic,
+            mem_power,
+        })
+    }
+
+    /// True per-domain power at the current temperatures, written directly
+    /// into the per-node power vector `node_powers`. Allocation-free:
+    /// everything state/demand-dependent was precomputed by
+    /// [`PhysicalPlant::interval_ops`]; this only evaluates the
+    /// temperature-dependent leakage terms.
+    ///
+    /// A free function over split borrows so the caller can keep mutable
+    /// references to the plant's reusable buffers while it runs.
+    #[allow(clippy::too_many_arguments)]
+    fn domain_powers_into(
+        thermal: &ExynosThermalNetwork,
+        node_temps_c: &[f64],
+        big_leak: &LeakageModel,
+        little_leak: &LeakageModel,
+        gpu_leak: &LeakageModel,
+        params: &PlantPowerParams,
+        ops: &IntervalOps,
+        online_mask: &[bool; 4],
+        node_powers: &mut [f64],
+    ) -> DomainPower {
+        let core_nodes = thermal.big_core_nodes();
+        let case_temp = node_temps_c[thermal.case_node().0];
+        let gpu_node = thermal.gpu_node().0;
+        // Batched, branch-free leakage for every domain: the divisions
+        // vectorise and the exp latency chains overlap (bit-identical to the
+        // equivalent scalar `current_a` calls).
+        let currents = power_model::currents_batch(
+            [
+                big_leak,
+                big_leak,
+                big_leak,
+                big_leak,
+                little_leak,
+                gpu_leak,
+            ],
+            [
+                node_temps_c[core_nodes[0].0],
+                node_temps_c[core_nodes[1].0],
+                node_temps_c[core_nodes[2].0],
+                node_temps_c[core_nodes[3].0],
+                case_temp,
+                node_temps_c[gpu_node],
+            ],
+        );
+        let core_currents = [currents[0], currents[1], currents[2], currents[3]];
+
+        let mut big_total = 0.0;
+        let little_total;
+
+        if ops.active_is_big {
+            big_total += ops.uncore;
+            let mut slot = 0;
+            for core in 0..4 {
+                let node = core_nodes[core].0;
+                if online_mask[core] {
+                    let dynamic = ops.slot_dynamic[slot];
+                    slot += 1;
+                    let leak = ops.volts * core_currents[core] / 4.0;
+                    node_powers[node] = dynamic + leak + ops.uncore_share;
+                    big_total += dynamic + leak;
+                } else {
+                    // Offline cores still leak a gated fraction.
+                    let leak =
+                        ops.volts * core_currents[core] / 4.0 * params.gated_leakage_fraction;
+                    node_powers[node] = leak;
+                    big_total += leak;
+                }
+            }
+            little_total = ops.idle_volts * currents[4] * params.gated_leakage_fraction;
+        } else {
+            little_total = ops.little_base + ops.volts * currents[4];
+            for core in 0..4 {
+                let node = core_nodes[core].0;
+                let leak =
+                    ops.idle_volts * core_currents[core] / 4.0 * params.gated_leakage_fraction;
+                node_powers[node] = leak;
+                big_total += leak;
+            }
+        }
+
+        let gpu_power = ops.gpu_dynamic + ops.gpu_volts * currents[5];
+
+        node_powers[thermal.little_node().0] = little_total;
+        node_powers[gpu_node] = gpu_power;
+        node_powers[thermal.memory_node().0] = ops.mem_power;
+        node_powers[thermal.case_node().0] = 0.0;
+
+        DomainPower::new(big_total, little_total, gpu_power, ops.mem_power)
     }
 
     /// CPU work completed per second for the given state and demand.
@@ -290,22 +409,77 @@ impl PhysicalPlant {
         if !(interval_s > 0.0) {
             return Err(SimError::InvalidConfig("control interval must be positive"));
         }
-        let fan_boost = self.spec.fan().conductance_boost_w_per_k(fan_level);
-        let network = self.thermal.network_with_fan_boost(fan_boost);
+        // The fan enters the integrator as a step parameter — no network
+        // clone — and the RK4 transition for this (fan, ambient) pair is
+        // cached across intervals.
+        let boost_w_per_k = self.spec.fan().conductance_boost_w_per_k(fan_level);
+        let fan_boost = self.thermal.fan_boost(boost_w_per_k);
+        let cache_valid = self.transition.as_ref().is_some_and(|cached| {
+            cached.fan_boost_bits == boost_w_per_k.to_bits()
+                && cached.ambient_bits == ambient_c.to_bits()
+        });
+        if !cache_valid {
+            self.transition = Some(CachedTransition {
+                fan_boost_bits: boost_w_per_k.to_bits(),
+                ambient_bits: ambient_c.to_bits(),
+                transition: self.thermal.network().step_transition(
+                    fan_boost,
+                    ambient_c,
+                    self.plant_dt_s,
+                )?,
+            });
+        }
+
+        // Online cores of the active cluster, computed once per interval into
+        // a fixed-size array (work streams spill over them in index order).
+        let active = state.active_cluster;
+        let mut online_buf = [0usize; 4];
+        let mut online_mask = [false; 4];
+        let mut online_count = 0;
+        for (core, flag) in online_mask.iter_mut().enumerate() {
+            if state.is_core_online(active, core) {
+                online_buf[online_count] = core;
+                *flag = true;
+                online_count += 1;
+            }
+        }
+        let online = &online_buf[..online_count];
+        let ops = self.interval_ops(state, demand, online)?;
 
         let steps = (interval_s / self.plant_dt_s).round().max(1.0) as usize;
         let mut power_accum = DomainPower::default();
+        // Split the borrows: the power computation reads the models while the
+        // integrator writes the reusable buffers.
+        let PhysicalPlant {
+            thermal,
+            node_temps_c,
+            big_leak,
+            little_leak,
+            gpu_leak,
+            params,
+            node_powers,
+            step_tmp,
+            transition,
+            ..
+        } = self;
+        let transition = &transition
+            .as_ref()
+            .expect("transition cache was just filled")
+            .transition;
         for _ in 0..steps {
-            let (domains, big_cores) = self.domain_powers(state, demand)?;
-            power_accum = power_accum + domains;
-            let node_powers = self.thermal.power_vector(
-                &big_cores,
-                domains.little_w,
-                domains.gpu_w,
-                domains.memory_w,
+            let domains = Self::domain_powers_into(
+                thermal,
+                node_temps_c,
+                big_leak,
+                little_leak,
+                gpu_leak,
+                params,
+                &ops,
+                &online_mask,
+                node_powers,
             );
-            self.node_temps_c =
-                network.step(&self.node_temps_c, &node_powers, ambient_c, self.plant_dt_s)?;
+            power_accum = power_accum + domains;
+            transition.apply(node_temps_c, node_powers, step_tmp);
         }
         let scale = 1.0 / steps as f64;
         let domain_power = DomainPower::new(

@@ -109,8 +109,7 @@ impl SensorSuite {
         ] {
             *value = (*value + self.gaussian(self.power_noise_w)).max(0.0);
         }
-        let platform_power_w =
-            (true_platform_power_w + self.gaussian(self.meter_noise_w)).max(0.0);
+        let platform_power_w = (true_platform_power_w + self.gaussian(self.meter_noise_w)).max(0.0);
         SensorReadings {
             core_temps_c,
             domain_power,
@@ -145,14 +144,20 @@ mod tests {
         let mut sum_big = 0.0;
         for _ in 0..500 {
             let reading = sensors.sample(truth, &DomainPower::new(2.5, 0.05, 0.2, 0.4), 6.0);
-            for i in 0..4 {
-                worst_temp_err = worst_temp_err.max((reading.core_temps_c[i] - truth[i]).abs());
+            for (measured, real) in reading.core_temps_c.iter().zip(&truth) {
+                worst_temp_err = worst_temp_err.max((measured - real).abs());
             }
             sum_big += reading.domain_power.big_w;
         }
-        assert!(worst_temp_err < 1.0, "temperature noise too large: {worst_temp_err}");
+        assert!(
+            worst_temp_err < 1.0,
+            "temperature noise too large: {worst_temp_err}"
+        );
         let mean_big = sum_big / 500.0;
-        assert!((mean_big - 2.5).abs() < 0.01, "power noise biased: {mean_big}");
+        assert!(
+            (mean_big - 2.5).abs() < 0.01,
+            "power noise biased: {mean_big}"
+        );
     }
 
     #[test]

@@ -118,8 +118,7 @@ impl Trace {
         if self.records.is_empty() {
             return 0.0;
         }
-        self.records.iter().filter(|r| r.dtpm_intervened).count() as f64
-            / self.records.len() as f64
+        self.records.iter().filter(|r| r.dtpm_intervened).count() as f64 / self.records.len() as f64
     }
 
     /// Fraction of intervals spent on the little cluster.

@@ -1,0 +1,181 @@
+//! Equivalence proofs for the optimized simulation hot path.
+//!
+//! The zero-allocation engine ([`PhysicalPlant`]) must reproduce the
+//! trajectories of the checked-in naive baseline ([`NaivePhysicalPlant`],
+//! the original allocation-heavy loop) and the parallel scenario sweep must
+//! reproduce sequential execution exactly.
+//!
+//! The plant comparison allows for floating-point *reassociation* only: the
+//! optimized engine advances the linear thermal ODE with the precomputed
+//! affine form of the RK4 step and hoists interval-constant arithmetic, which
+//! reorders mathematically-identical operations. Over tens of thousands of
+//! micro-steps the divergence stays below a micro-kelvin — physically the
+//! same trajectory (sensor quantisation alone is 0.1 °C).
+
+use platform_sim::{
+    CalibrationCampaign, Experiment, ExperimentConfig, ExperimentKind, NaivePhysicalPlant,
+    PhysicalPlant, PlantPowerParams, ScenarioSweep,
+};
+use soc_model::{ClusterKind, FanLevel, Frequency, PlatformState, SocSpec};
+use workload::{BenchmarkId, Demand};
+
+fn demand_phase(i: usize) -> Demand {
+    match i % 3 {
+        0 => Demand {
+            cpu_streams: 4.0,
+            activity_factor: 0.95,
+            gpu_utilization: 0.0,
+            memory_intensity: 0.5,
+            frequency_scalability: 1.0,
+        },
+        1 => Demand {
+            cpu_streams: 1.5,
+            activity_factor: 0.5,
+            gpu_utilization: 0.7,
+            memory_intensity: 0.3,
+            frequency_scalability: 0.8,
+        },
+        _ => Demand {
+            cpu_streams: 2.5,
+            activity_factor: 0.75,
+            gpu_utilization: 0.2,
+            memory_intensity: 0.8,
+            frequency_scalability: 0.9,
+        },
+    }
+}
+
+fn fan_phase(i: usize) -> FanLevel {
+    match (i / 50) % 4 {
+        0 => FanLevel::Off,
+        1 => FanLevel::Base,
+        2 => FanLevel::Half,
+        _ => FanLevel::Full,
+    }
+}
+
+#[test]
+fn optimized_plant_tracks_naive_baseline_trajectories() {
+    let spec = SocSpec::odroid_xu_e();
+    let mut optimized = PhysicalPlant::new(spec.clone(), PlantPowerParams::default());
+    let mut naive = NaivePhysicalPlant::new(spec.clone(), PlantPowerParams::default());
+
+    let mut state = PlatformState::default_for(&spec);
+    let mut worst_temp = 0.0f64;
+    let mut worst_power = 0.0f64;
+    for i in 0..3000 {
+        // Exercise every actuation path: fan steps, frequency changes, core
+        // shutdown phases and a little-cluster migration phase.
+        if i == 800 {
+            state.set_core_online(ClusterKind::Big, 2, false);
+        }
+        if i == 1200 {
+            state.set_core_online(ClusterKind::Big, 2, true);
+            state.set_cluster_frequency(ClusterKind::Big, Frequency::from_mhz(1000));
+        }
+        if i == 1800 {
+            state.migrate_to_cluster(ClusterKind::Little, Frequency::from_mhz(1200));
+        }
+        if i == 2300 {
+            state.migrate_to_cluster(ClusterKind::Big, Frequency::from_mhz(1600));
+        }
+        let demand = demand_phase(i);
+        let fan = fan_phase(i);
+
+        let fast = optimized
+            .step_interval(&state, &demand, fan, 28.0, 0.1)
+            .unwrap();
+        let slow = naive
+            .step_interval(&state, &demand, fan, 28.0, 0.1)
+            .unwrap();
+
+        for (a, b) in optimized
+            .node_temps_c()
+            .iter()
+            .zip(naive.node_temps_c().iter())
+        {
+            worst_temp = worst_temp.max((a - b).abs());
+        }
+        worst_power = worst_power.max((fast.platform_power_w - slow.platform_power_w).abs());
+        assert_eq!(
+            fast.work_done, slow.work_done,
+            "work model must agree exactly"
+        );
+    }
+
+    // 30 000 micro-steps of reassociated-but-identical arithmetic: the
+    // engines must agree far below any physically meaningful scale.
+    assert!(
+        worst_temp < 1e-6,
+        "trajectories diverged: max |dT| = {worst_temp} degC"
+    );
+    assert!(
+        worst_power < 1e-6,
+        "power outputs diverged: max |dP| = {worst_power} W"
+    );
+}
+
+#[test]
+fn scenario_sweep_matches_sequential_runs() {
+    let campaign = CalibrationCampaign {
+        prbs_duration_s: 120.0,
+        run_furnace: false,
+        ..CalibrationCampaign::default()
+    };
+    let calibration = campaign.run(11).unwrap();
+
+    let configs: Vec<ExperimentConfig> = [
+        (ExperimentKind::Dtpm, BenchmarkId::Dijkstra, 1),
+        (ExperimentKind::DefaultWithFan, BenchmarkId::Blowfish, 2),
+        (ExperimentKind::Reactive, BenchmarkId::MatrixMult, 3),
+        (ExperimentKind::WithoutFan, BenchmarkId::Qsort, 4),
+        (ExperimentKind::Dtpm, BenchmarkId::Templerun, 5),
+    ]
+    .into_iter()
+    .map(|(kind, benchmark, seed)| {
+        let mut config = ExperimentConfig::new(kind, benchmark).with_seed(seed);
+        config.max_duration_s = 20.0;
+        config
+    })
+    .collect();
+
+    let sweep = ScenarioSweep::new(configs.clone()).with_threads(4);
+    assert!(sweep.threads() >= 1);
+    assert_eq!(sweep.configs().len(), configs.len());
+    let parallel = sweep.run(&calibration);
+
+    for (config, result) in configs.iter().zip(parallel) {
+        let sequential = Experiment::new(config.clone(), &calibration)
+            .unwrap()
+            .run()
+            .unwrap();
+        let result = result.expect("sweep run must succeed");
+        // Bit-exact determinism: the sweep runs the very same simulation.
+        assert_eq!(result.config, sequential.config);
+        assert_eq!(result.execution_time_s, sequential.execution_time_s);
+        assert_eq!(result.energy_j, sequential.energy_j);
+        assert_eq!(
+            result.mean_platform_power_w,
+            sequential.mean_platform_power_w
+        );
+        assert_eq!(result.trace.len(), sequential.trace.len());
+    }
+}
+
+#[test]
+fn sweep_handles_empty_and_single_configuration() {
+    let campaign = CalibrationCampaign {
+        prbs_duration_s: 120.0,
+        run_furnace: false,
+        ..CalibrationCampaign::default()
+    };
+    let calibration = campaign.run(3).unwrap();
+
+    assert!(ScenarioSweep::new(Vec::new()).run(&calibration).is_empty());
+
+    let mut config = ExperimentConfig::new(ExperimentKind::Dtpm, BenchmarkId::Crc32);
+    config.max_duration_s = 10.0;
+    let results = ScenarioSweep::new(vec![config]).run(&calibration);
+    assert_eq!(results.len(), 1);
+    assert!(results[0].is_ok());
+}

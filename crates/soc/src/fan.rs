@@ -25,7 +25,12 @@ pub enum FanLevel {
 
 impl FanLevel {
     /// All levels in increasing cooling order.
-    pub const ALL: [FanLevel; 4] = [FanLevel::Off, FanLevel::Base, FanLevel::Half, FanLevel::Full];
+    pub const ALL: [FanLevel; 4] = [
+        FanLevel::Off,
+        FanLevel::Base,
+        FanLevel::Half,
+        FanLevel::Full,
+    ];
 
     /// Fraction of the maximum fan speed this level corresponds to.
     ///

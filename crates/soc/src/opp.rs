@@ -138,10 +138,7 @@ impl OppTable {
         if points.is_empty() {
             return Err(SocError::InvalidOppTable("table must not be empty"));
         }
-        if points
-            .windows(2)
-            .any(|w| w[1].frequency <= w[0].frequency)
-        {
+        if points.windows(2).any(|w| w[1].frequency <= w[0].frequency) {
             return Err(SocError::InvalidOppTable(
                 "frequencies must be strictly increasing",
             ));
@@ -362,9 +359,18 @@ mod tests {
     #[test]
     fn floor_and_ceil() {
         let t = OppTable::exynos5410_big();
-        assert_eq!(t.floor(Frequency::from_mhz(1650)).unwrap().frequency.mhz(), 1600);
-        assert_eq!(t.floor(Frequency::from_mhz(1599)).unwrap().frequency.mhz(), 1500);
-        assert_eq!(t.floor(Frequency::from_mhz(800)).unwrap().frequency.mhz(), 800);
+        assert_eq!(
+            t.floor(Frequency::from_mhz(1650)).unwrap().frequency.mhz(),
+            1600
+        );
+        assert_eq!(
+            t.floor(Frequency::from_mhz(1599)).unwrap().frequency.mhz(),
+            1500
+        );
+        assert_eq!(
+            t.floor(Frequency::from_mhz(800)).unwrap().frequency.mhz(),
+            800
+        );
         assert!(t.floor(Frequency::from_mhz(799)).is_none());
         assert_eq!(t.ceil(Frequency::from_mhz(0)).frequency.mhz(), 800);
         assert_eq!(t.ceil(Frequency::from_mhz(1601)).frequency.mhz(), 1600);
@@ -401,7 +407,10 @@ mod tests {
     #[test]
     fn voltage_lookup() {
         let t = OppTable::exynos5410_big();
-        assert_eq!(t.voltage_for(Frequency::from_mhz(1600)).unwrap().volts(), 1.20);
+        assert_eq!(
+            t.voltage_for(Frequency::from_mhz(1600)).unwrap().volts(),
+            1.20
+        );
         assert!(matches!(
             t.voltage_for(Frequency::from_mhz(1234)),
             Err(SocError::UnsupportedFrequency { .. })

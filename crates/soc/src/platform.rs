@@ -263,9 +263,7 @@ impl PlatformState {
     /// is not an operating point of its device.
     pub fn validate(&self, spec: &SocSpec) -> Result<(), SocError> {
         if self.active_online_core_count() == 0 {
-            return Err(SocError::InvalidState(
-                "active cluster has no online cores",
-            ));
+            return Err(SocError::InvalidState("active cluster has no online cores"));
         }
         if self.big_cores_online.len() != spec.big_cluster().core_count
             || self.little_cores_online.len() != spec.little_cluster().core_count

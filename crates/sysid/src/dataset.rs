@@ -232,12 +232,8 @@ mod tests {
     #[test]
     fn push_validates_dimensions() {
         let mut ds = IdentificationDataset::new(2, 2, 0.1, 25.0).unwrap();
-        assert!(ds
-            .push(Vector::zeros(3), Vector::zeros(2))
-            .is_err());
-        assert!(ds
-            .push(Vector::zeros(2), Vector::zeros(1))
-            .is_err());
+        assert!(ds.push(Vector::zeros(3), Vector::zeros(2)).is_err());
+        assert!(ds.push(Vector::zeros(2), Vector::zeros(1)).is_err());
         assert!(ds.push(Vector::zeros(2), Vector::zeros(2)).is_ok());
         assert_eq!(ds.len(), 1);
         assert!(!ds.is_empty());

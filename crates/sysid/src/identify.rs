@@ -106,7 +106,11 @@ mod tests {
 
     /// Generates a dataset by simulating a known discrete model under a
     /// square-wave excitation on each input in turn.
-    fn simulate_dataset(truth: &DiscreteThermalModel, steps: usize, ambient: f64) -> IdentificationDataset {
+    fn simulate_dataset(
+        truth: &DiscreteThermalModel,
+        steps: usize,
+        ambient: f64,
+    ) -> IdentificationDataset {
         let n_states = truth.state_count();
         let n_inputs = truth.input_count();
         let mut ds =

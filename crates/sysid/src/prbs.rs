@@ -80,10 +80,13 @@ impl PrbsSignal {
     /// 4..=16, the hold count is zero, the length is zero, or the high level
     /// is not above the low level.
     pub fn generate(config: PrbsConfig, length: usize) -> Result<Self, SysIdError> {
-        let taps = taps_for(config.register_bits)
-            .ok_or(SysIdError::InvalidConfig("register length must be in 4..=16"))?;
+        let taps = taps_for(config.register_bits).ok_or(SysIdError::InvalidConfig(
+            "register length must be in 4..=16",
+        ))?;
         if config.hold_intervals == 0 {
-            return Err(SysIdError::InvalidConfig("hold interval count must be non-zero"));
+            return Err(SysIdError::InvalidConfig(
+                "hold interval count must be non-zero",
+            ));
         }
         if length == 0 {
             return Err(SysIdError::InvalidConfig("signal length must be non-zero"));
@@ -174,10 +177,7 @@ mod tests {
         };
         let signal = PrbsSignal::generate(cfg, 5000).unwrap();
         assert_eq!(signal.len(), 5000);
-        assert!(signal
-            .values()
-            .iter()
-            .all(|&v| v == 800.0 || v == 1600.0));
+        assert!(signal.values().iter().all(|&v| v == 800.0 || v == 1600.0));
     }
 
     #[test]
@@ -230,7 +230,11 @@ mod tests {
     fn has_many_transitions() {
         let signal = PrbsSignal::generate(PrbsConfig::default(), 5000).unwrap();
         // With a hold of 5 the expected number of transitions is ~500.
-        assert!(signal.transition_count() > 200, "{}", signal.transition_count());
+        assert!(
+            signal.transition_count() > 200,
+            "{}",
+            signal.transition_count()
+        );
     }
 
     #[test]

@@ -88,8 +88,8 @@ pub fn validate_free_run(
     let mut simulated = Vec::with_capacity(dataset.len());
     let mut state = measured[0].clone();
     simulated.push(state.clone());
-    for k in 0..dataset.len() - 1 {
-        state = model.step(&state, &powers[k])?;
+    for power in powers.iter().take(dataset.len() - 1) {
+        state = model.step(&state, power)?;
         simulated.push(state.clone());
     }
 
@@ -130,7 +130,9 @@ pub fn n_step_prediction(
     horizon_steps: usize,
 ) -> Result<PredictionErrorReport, SysIdError> {
     if horizon_steps == 0 {
-        return Err(SysIdError::InvalidConfig("horizon must be at least one step"));
+        return Err(SysIdError::InvalidConfig(
+            "horizon must be at least one step",
+        ));
     }
     check_compat(model, dataset)?;
     if dataset.len() < horizon_steps + 1 {
@@ -273,12 +275,9 @@ mod tests {
     fn rejects_incompatible_dimensions_and_tiny_data() {
         let truth = truth_model();
         let ds = make_dataset(&truth, 30);
-        let other = DiscreteThermalModel::new(
-            Matrix::identity(3).scale(0.9),
-            Matrix::zeros(3, 2),
-            0.1,
-        )
-        .unwrap();
+        let other =
+            DiscreteThermalModel::new(Matrix::identity(3).scale(0.9), Matrix::zeros(3, 2), 0.1)
+                .unwrap();
         assert!(validate_free_run(&other, &ds).is_err());
         assert!(n_step_prediction(&truth, &ds, 0).is_err());
         assert!(n_step_prediction(&truth, &ds, 40).is_err());

@@ -16,6 +16,29 @@
 //!   from measurements and uses for prediction (Eq. 4.5). The DTPM controller
 //!   only ever sees this reduced model, never the plant.
 //!
+//! # Hot-path architecture
+//!
+//! Large calibration/evaluation sweeps step the plant millions of times, so
+//! the integrator offers allocation-free forms next to the allocating
+//! conveniences:
+//!
+//! * [`network::ThermalNetwork::step_into`] advances the temperatures in
+//!   place through a reusable [`network::RkScratch`] (six preallocated
+//!   buffers); [`network::ThermalNetwork::step`] is a thin wrapper, so the
+//!   two are bit-identical.
+//! * The fan's extra case-to-ambient conductance is a [`network::FanBoost`]
+//!   *step parameter* — the per-interval path never clones the network.
+//! * [`network::ThermalNetwork::step_transition`] precomputes one RK4 step of
+//!   the (linear, constant-coefficient) thermal ODE as an affine map
+//!   `T⁺ = R·T + S·p + c`; [`network::StepTransition::apply`] evaluates it
+//!   with two dense mat-vecs, several times faster than the staged sweeps and
+//!   equal to them up to floating-point reassociation. The simulator caches
+//!   one transition per (fan level, ambient).
+//! * Per-node inverse capacitances are precomputed at build time, and
+//!   [`state_space::DiscreteThermalModel::step_into`] /
+//!   [`state_space::DiscreteThermalModel::predict_constant_power_into`] give
+//!   the prediction side the same scratch-reuse treatment.
+//!
 //! # Example
 //!
 //! ```
@@ -44,5 +67,8 @@ pub mod network;
 pub mod state_space;
 
 pub use error::ThermalError;
-pub use network::{ExynosThermalNetwork, NodeId, ThermalNetwork, ThermalNetworkBuilder};
+pub use network::{
+    ExynosThermalNetwork, FanBoost, NodeId, RkScratch, StepTransition, ThermalNetwork,
+    ThermalNetworkBuilder,
+};
 pub use state_space::DiscreteThermalModel;

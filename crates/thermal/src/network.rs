@@ -74,15 +74,24 @@ impl ThermalNetworkBuilder {
     ///
     /// Returns [`ThermalError::InvalidParameter`] for unknown nodes,
     /// self-connections or non-positive conductances.
-    pub fn connect(&mut self, a: NodeId, b: NodeId, conductance_w_per_k: f64) -> Result<(), ThermalError> {
+    pub fn connect(
+        &mut self,
+        a: NodeId,
+        b: NodeId,
+        conductance_w_per_k: f64,
+    ) -> Result<(), ThermalError> {
         if a.0 >= self.names.len() || b.0 >= self.names.len() {
             return Err(ThermalError::InvalidParameter("unknown node id"));
         }
         if a == b {
-            return Err(ThermalError::InvalidParameter("cannot connect a node to itself"));
+            return Err(ThermalError::InvalidParameter(
+                "cannot connect a node to itself",
+            ));
         }
         if !(conductance_w_per_k > 0.0) {
-            return Err(ThermalError::InvalidParameter("conductance must be positive"));
+            return Err(ThermalError::InvalidParameter(
+                "conductance must be positive",
+            ));
         }
         self.couplings.push((a.0, b.0, conductance_w_per_k));
         Ok(())
@@ -104,7 +113,9 @@ impl ThermalNetworkBuilder {
             return Err(ThermalError::InvalidParameter("unknown node id"));
         }
         if !(conductance_w_per_k > 0.0) {
-            return Err(ThermalError::InvalidParameter("conductance must be positive"));
+            return Err(ThermalError::InvalidParameter(
+                "conductance must be positive",
+            ));
         }
         self.ambient_conductances[node.0] += conductance_w_per_k;
         Ok(())
@@ -131,12 +142,102 @@ impl ThermalNetworkBuilder {
                 "at least one node must be connected to the ambient",
             ));
         }
+        // Hot-path precomputation: the RK4 integrator multiplies by the
+        // reciprocal capacitance instead of dividing, and walks `couplings`
+        // as a flat edge list.
+        let inv_capacitances = self.capacitances.iter().map(|c| 1.0 / c).collect();
         Ok(ThermalNetwork {
             names: self.names,
             capacitances: self.capacitances,
             couplings: self.couplings,
             ambient_conductances: self.ambient_conductances,
+            inv_capacitances,
         })
+    }
+}
+
+/// Extra node-to-ambient conductance applied during a single integration step
+/// without modifying (or cloning) the network — how the fan's contribution
+/// enters the hot path.
+///
+/// The per-interval simulation loop used to call
+/// [`ThermalNetwork::with_extra_ambient_conductance`], cloning the entire
+/// network (names included) once per control interval. A `FanBoost` carries
+/// the same information as a two-word value instead.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FanBoost {
+    node: usize,
+    conductance_w_per_k: f64,
+}
+
+impl FanBoost {
+    /// No extra conductance anywhere (fan off).
+    pub const NONE: FanBoost = FanBoost {
+        node: 0,
+        conductance_w_per_k: 0.0,
+    };
+
+    /// Adds `conductance_w_per_k` (clamped at zero) of extra ambient
+    /// conductance to `node` for the duration of a step.
+    pub fn at(node: NodeId, conductance_w_per_k: f64) -> Self {
+        FanBoost {
+            node: node.0,
+            conductance_w_per_k: conductance_w_per_k.max(0.0),
+        }
+    }
+
+    /// The boosted node.
+    pub fn node(&self) -> NodeId {
+        NodeId(self.node)
+    }
+
+    /// The extra conductance, W/K.
+    pub fn conductance_w_per_k(&self) -> f64 {
+        self.conductance_w_per_k
+    }
+}
+
+impl Default for FanBoost {
+    fn default() -> Self {
+        FanBoost::NONE
+    }
+}
+
+/// Reusable buffers for the in-place RK4 integrator
+/// ([`ThermalNetwork::step_into`]).
+///
+/// Holding one `RkScratch` per integration loop makes stepping completely
+/// allocation-free: the four slope vectors, the stage-state vector and the
+/// edge-flow accumulator are allocated once and reused for every micro-step.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RkScratch {
+    k1: Vec<f64>,
+    k2: Vec<f64>,
+    k3: Vec<f64>,
+    k4: Vec<f64>,
+    stage: Vec<f64>,
+    flows: Vec<f64>,
+}
+
+impl RkScratch {
+    /// Creates scratch buffers sized for a network with `node_count` nodes.
+    pub fn new(node_count: usize) -> Self {
+        let mut scratch = RkScratch::default();
+        scratch.ensure(node_count);
+        scratch
+    }
+
+    fn ensure(&mut self, n: usize) {
+        for buf in [
+            &mut self.k1,
+            &mut self.k2,
+            &mut self.k3,
+            &mut self.k4,
+            &mut self.stage,
+            &mut self.flows,
+        ] {
+            buf.resize(n, 0.0);
+        }
     }
 }
 
@@ -147,6 +248,8 @@ pub struct ThermalNetwork {
     capacitances: Vec<f64>,
     couplings: Vec<(usize, usize, f64)>,
     ambient_conductances: Vec<f64>,
+    /// `1 / capacitances[i]`, precomputed at build time for the integrator.
+    inv_capacitances: Vec<f64>,
 }
 
 impl ThermalNetwork {
@@ -180,40 +283,58 @@ impl ThermalNetwork {
     }
 
     /// Temperature derivative `dT/dt` for the given state, power injection and
-    /// ambient temperature.
-    fn derivative(&self, temps: &[f64], powers: &[f64], ambient_c: f64) -> Vec<f64> {
-        let n = self.node_count();
-        let mut heat_flow = vec![0.0; n];
-        // Node-to-node coupling.
+    /// ambient temperature, written into `out` without allocating. `flows`
+    /// accumulates the node-to-node edge flows.
+    fn derivative_into(
+        &self,
+        temps: &[f64],
+        powers: &[f64],
+        ambient_c: f64,
+        boost: FanBoost,
+        flows: &mut [f64],
+        out: &mut [f64],
+    ) {
+        flows.fill(0.0);
+        // Node-to-node coupling over the flat edge list.
         for &(a, b, g) in &self.couplings {
             let flow = g * (temps[b] - temps[a]);
-            heat_flow[a] += flow;
-            heat_flow[b] -= flow;
+            flows[a] += flow;
+            flows[b] -= flow;
         }
         // Ambient exchange and power injection.
-        let mut derivative = vec![0.0; n];
-        for i in 0..n {
-            let ambient_flow = self.ambient_conductances[i] * (ambient_c - temps[i]);
-            derivative[i] = (heat_flow[i] + ambient_flow + powers[i]) / self.capacitances[i];
+        for (i, slot) in out.iter_mut().enumerate() {
+            let mut g_amb = self.ambient_conductances[i];
+            if i == boost.node {
+                g_amb += boost.conductance_w_per_k;
+            }
+            let ambient_flow = g_amb * (ambient_c - temps[i]);
+            *slot = (flows[i] + ambient_flow + powers[i]) * self.inv_capacitances[i];
         }
-        derivative
     }
 
-    /// Advances the node temperatures by `dt` seconds using one RK4 step with
-    /// the node power injections `powers_w` (W) held constant over the step.
+    /// Advances `temps_c` in place by `dt` seconds using one RK4 step with the
+    /// node power injections `powers_w` (W) held constant over the step.
+    ///
+    /// This is the allocation-free hot path: all intermediate state lives in
+    /// `scratch`, and `fan_boost` injects the fan's extra ambient conductance
+    /// without cloning the network (pass [`FanBoost::NONE`] when the fan is
+    /// off). [`ThermalNetwork::step`] is a convenience wrapper around this
+    /// method, so the two are bit-identical by construction.
     ///
     /// # Errors
     ///
     /// Returns [`ThermalError::DimensionMismatch`] if the vectors have the
     /// wrong length, or [`ThermalError::InvalidParameter`] for a non-positive
     /// step size.
-    pub fn step(
+    pub fn step_into(
         &self,
-        temps_c: &[f64],
+        temps_c: &mut [f64],
         powers_w: &[f64],
         ambient_c: f64,
         dt_s: f64,
-    ) -> Result<Vec<f64>, ThermalError> {
+        fan_boost: FanBoost,
+        scratch: &mut RkScratch,
+    ) -> Result<(), ThermalError> {
         let n = self.node_count();
         if temps_c.len() != n {
             return Err(ThermalError::DimensionMismatch {
@@ -232,30 +353,183 @@ impl ThermalNetwork {
         if !(dt_s > 0.0) || !dt_s.is_finite() {
             return Err(ThermalError::InvalidParameter("step size must be positive"));
         }
+        scratch.ensure(n);
+        let RkScratch {
+            k1,
+            k2,
+            k3,
+            k4,
+            stage,
+            flows,
+        } = scratch;
 
-        let k1 = self.derivative(temps_c, powers_w, ambient_c);
-        let mid1: Vec<f64> = temps_c
-            .iter()
-            .zip(&k1)
-            .map(|(t, k)| t + 0.5 * dt_s * k)
-            .collect();
-        let k2 = self.derivative(&mid1, powers_w, ambient_c);
-        let mid2: Vec<f64> = temps_c
-            .iter()
-            .zip(&k2)
-            .map(|(t, k)| t + 0.5 * dt_s * k)
-            .collect();
-        let k3 = self.derivative(&mid2, powers_w, ambient_c);
-        let end: Vec<f64> = temps_c
-            .iter()
-            .zip(&k3)
-            .map(|(t, k)| t + dt_s * k)
-            .collect();
-        let k4 = self.derivative(&end, powers_w, ambient_c);
+        self.derivative_into(temps_c, powers_w, ambient_c, fan_boost, flows, k1);
+        for i in 0..n {
+            stage[i] = temps_c[i] + 0.5 * dt_s * k1[i];
+        }
+        self.derivative_into(stage, powers_w, ambient_c, fan_boost, flows, k2);
+        for i in 0..n {
+            stage[i] = temps_c[i] + 0.5 * dt_s * k2[i];
+        }
+        self.derivative_into(stage, powers_w, ambient_c, fan_boost, flows, k3);
+        for i in 0..n {
+            stage[i] = temps_c[i] + dt_s * k3[i];
+        }
+        self.derivative_into(stage, powers_w, ambient_c, fan_boost, flows, k4);
 
-        Ok((0..n)
-            .map(|i| temps_c[i] + dt_s / 6.0 * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]))
-            .collect())
+        for i in 0..n {
+            temps_c[i] += dt_s / 6.0 * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]);
+        }
+        Ok(())
+    }
+
+    /// Advances the node temperatures by `dt` seconds using one RK4 step with
+    /// the node power injections `powers_w` (W) held constant over the step.
+    ///
+    /// Allocating convenience wrapper over [`ThermalNetwork::step_into`];
+    /// prefer the latter (with a reused [`RkScratch`]) in loops.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError::DimensionMismatch`] if the vectors have the
+    /// wrong length, or [`ThermalError::InvalidParameter`] for a non-positive
+    /// step size.
+    pub fn step(
+        &self,
+        temps_c: &[f64],
+        powers_w: &[f64],
+        ambient_c: f64,
+        dt_s: f64,
+    ) -> Result<Vec<f64>, ThermalError> {
+        if temps_c.len() != self.node_count() {
+            return Err(ThermalError::DimensionMismatch {
+                what: "temperature vector",
+                expected: self.node_count(),
+                actual: temps_c.len(),
+            });
+        }
+        let mut out = temps_c.to_vec();
+        let mut scratch = RkScratch::new(self.node_count());
+        self.step_into(
+            &mut out,
+            powers_w,
+            ambient_c,
+            dt_s,
+            FanBoost::NONE,
+            &mut scratch,
+        )?;
+        Ok(out)
+    }
+
+    /// The node-to-node couplings as `(a, b, conductance W/K)` triples — the
+    /// flat edge list the integrator walks.
+    pub fn couplings(&self) -> &[(usize, usize, f64)] {
+        &self.couplings
+    }
+
+    /// Per-node conductance to the ambient (W/K).
+    pub fn ambient_conductances(&self) -> &[f64] {
+        &self.ambient_conductances
+    }
+
+    /// Precomputes the exact one-micro-step RK4 transition for this network
+    /// under a fixed fan boost, ambient temperature and step size.
+    ///
+    /// The thermal ODE is linear, `dT/dt = A·T + u` with constant `A` (the
+    /// conductance/capacitance structure) and a per-step-constant drive `u`
+    /// (power injection plus ambient exchange), so one classical RK4 step is
+    /// *exactly* the affine map
+    ///
+    /// ```text
+    /// T⁺ = R·T + S·u,   R = I + hA·K,   S = h·K,
+    /// K = I + (hA/2)·(I + (hA/3)·(I + hA/4))
+    /// ```
+    ///
+    /// [`StepTransition::apply`] evaluates that map with two dense
+    /// matrix–vector products — several times cheaper than the four staged
+    /// derivative sweeps of [`ThermalNetwork::step_into`], at the cost of
+    /// floating-point *reassociation*: results agree with the staged RK4 to
+    /// rounding error (~1e-12 °C over long horizons), not bit-exactly. The
+    /// simulation hot loop caches one transition per (fan level, ambient)
+    /// and reuses it for every micro-step.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError::InvalidParameter`] for a non-positive step
+    /// size.
+    pub fn step_transition(
+        &self,
+        fan_boost: FanBoost,
+        ambient_c: f64,
+        dt_s: f64,
+    ) -> Result<StepTransition, ThermalError> {
+        if !(dt_s > 0.0) || !dt_s.is_finite() {
+            return Err(ThermalError::InvalidParameter("step size must be positive"));
+        }
+        let n = self.node_count();
+
+        // hA, with A_ij = ∂(dT_i/dt)/∂T_j.
+        let mut ha = Matrix::zeros(n, n);
+        for &(a, b, g) in &self.couplings {
+            ha[(a, b)] += dt_s * g * self.inv_capacitances[a];
+            ha[(a, a)] -= dt_s * g * self.inv_capacitances[a];
+            ha[(b, a)] += dt_s * g * self.inv_capacitances[b];
+            ha[(b, b)] -= dt_s * g * self.inv_capacitances[b];
+        }
+        for i in 0..n {
+            let mut g_amb = self.ambient_conductances[i];
+            if i == fan_boost.node {
+                g_amb += fan_boost.conductance_w_per_k;
+            }
+            ha[(i, i)] -= dt_s * g_amb * self.inv_capacitances[i];
+        }
+
+        // K = I + (hA/2)·(I + (hA/3)·(I + hA/4)), Horner form of the RK4
+        // polynomial; then R = I + hA·K and S = h·K.
+        let identity = Matrix::identity(n);
+        let k = identity
+            .add(
+                &ha.scale(0.5)
+                    .mul(
+                        &identity
+                            .add(
+                                &ha.scale(1.0 / 3.0)
+                                    .mul(&identity.add(&ha.scale(0.25)).expect("same shape"))
+                                    .expect("square"),
+                            )
+                            .expect("same shape"),
+                    )
+                    .expect("square"),
+            )
+            .expect("same shape");
+        let r = identity
+            .add(&ha.mul(&k).expect("square"))
+            .expect("same shape");
+        let s = k.scale(dt_s);
+
+        // Fold the drive u = inv_cap ⊙ (p + g_amb·T_amb) into the matrices:
+        // T⁺ = R·T + (S·diag(inv_cap))·p + S·(inv_cap ⊙ g_amb·T_amb).
+        let mut s_power = s.clone();
+        let mut ambient_drive = vec![0.0; n];
+        for i in 0..n {
+            let mut c = 0.0;
+            for j in 0..n {
+                let mut g_amb = self.ambient_conductances[j];
+                if j == fan_boost.node {
+                    g_amb += fan_boost.conductance_w_per_k;
+                }
+                c += s[(i, j)] * self.inv_capacitances[j] * g_amb * ambient_c;
+                s_power[(i, j)] = s[(i, j)] * self.inv_capacitances[j];
+            }
+            ambient_drive[i] = c;
+        }
+
+        Ok(StepTransition {
+            n,
+            r_t: r.transpose().as_slice().to_vec(),
+            s_power_t: s_power.transpose().as_slice().to_vec(),
+            ambient_drive,
+        })
     }
 
     /// Steady-state temperatures for constant power injections and ambient.
@@ -294,6 +568,56 @@ impl ThermalNetwork {
     /// The thermal capacitance of each node (J/K).
     pub fn capacitances(&self) -> &[f64] {
         &self.capacitances
+    }
+}
+
+/// Precomputed one-micro-step RK4 transition of a [`ThermalNetwork`] for a
+/// fixed fan boost, ambient temperature and step size
+/// (see [`ThermalNetwork::step_transition`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StepTransition {
+    n: usize,
+    /// `Rᵀ`, row-major `n × n` — i.e. the columns of `R` stored contiguously,
+    /// so the apply loop is a dense axpy sweep the compiler can vectorise.
+    r_t: Vec<f64>,
+    /// `(S·diag(1/C))ᵀ`, row-major `n × n` (applied to the raw power vector).
+    s_power_t: Vec<f64>,
+    /// `S·(1/C ⊙ G_amb·T_amb)`, the constant ambient drive.
+    ambient_drive: Vec<f64>,
+}
+
+impl StepTransition {
+    /// Number of nodes the transition covers.
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// Advances `temps` in place by one micro-step with the node power
+    /// injections `powers_w`, using `tmp` as scratch. Allocation-free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `temps`, `powers_w` or `tmp` do not cover all nodes.
+    #[inline]
+    pub fn apply(&self, temps: &mut [f64], powers_w: &[f64], tmp: &mut [f64]) {
+        let n = self.n;
+        assert_eq!(temps.len(), n, "temperature vector length");
+        assert_eq!(powers_w.len(), n, "power vector length");
+        assert_eq!(tmp.len(), n, "scratch vector length");
+        // Column-major (axpy) accumulation: tmp = drive + Σ_j R[:,j]·t_j +
+        // Σ_j S[:,j]·p_j. Every tmp element is independent, so the inner
+        // loops vectorise without any reduction reassociation.
+        tmp.copy_from_slice(&self.ambient_drive);
+        for j in 0..n {
+            let tj = temps[j];
+            let pj = powers_w[j];
+            let r_col = &self.r_t[j * n..(j + 1) * n];
+            let s_col = &self.s_power_t[j * n..(j + 1) * n];
+            for i in 0..n {
+                tmp[i] += r_col[i] * tj + s_col[i] * pj;
+            }
+        }
+        temps.copy_from_slice(tmp);
     }
 }
 
@@ -393,6 +717,13 @@ impl ExynosThermalNetwork {
         &self.network
     }
 
+    /// The fan's contribution as a [`FanBoost`] step parameter for
+    /// [`ThermalNetwork::step_into`] — the allocation-free alternative to
+    /// [`ExynosThermalNetwork::network_with_fan_boost`].
+    pub fn fan_boost(&self, fan_boost_w_per_k: f64) -> FanBoost {
+        FanBoost::at(self.case, fan_boost_w_per_k)
+    }
+
     /// Node ids of the four big cores (the thermal hotspots).
     pub fn big_core_nodes(&self) -> [NodeId; 4] {
         self.big_cores
@@ -438,13 +769,34 @@ impl ExynosThermalNetwork {
     ) -> Vec<f64> {
         assert_eq!(big_core_powers.len(), 4, "expected four big-core powers");
         let mut p = vec![0.0; self.network.node_count()];
-        for (node, &power) in self.big_cores.iter().zip(big_core_powers) {
-            p[node.0] = power;
-        }
-        p[self.little.0] = little_w;
-        p[self.gpu.0] = gpu_w;
-        p[self.memory.0] = memory_w;
+        self.power_vector_into(big_core_powers, little_w, gpu_w, memory_w, &mut p);
         p
+    }
+
+    /// Fills `out` with the per-node power-injection vector, the
+    /// allocation-free form of [`ExynosThermalNetwork::power_vector`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `big_core_powers` does not have four entries or `out` does
+    /// not cover all nodes.
+    pub fn power_vector_into(
+        &self,
+        big_core_powers: &[f64],
+        little_w: f64,
+        gpu_w: f64,
+        memory_w: f64,
+        out: &mut [f64],
+    ) {
+        assert_eq!(big_core_powers.len(), 4, "expected four big-core powers");
+        assert_eq!(out.len(), self.network.node_count(), "power vector length");
+        out.fill(0.0);
+        for (node, &power) in self.big_cores.iter().zip(big_core_powers) {
+            out[node.0] = power;
+        }
+        out[self.little.0] = little_w;
+        out[self.gpu.0] = gpu_w;
+        out[self.memory.0] = memory_w;
     }
 
     /// Extracts the big-core (hotspot) temperatures from a full plant state.
@@ -541,7 +893,10 @@ mod tests {
             temps = network.step(&temps, &powers, 28.0, 0.01).unwrap();
         }
         for (a, b) in temps.iter().zip(&ss) {
-            assert!((a - b).abs() < 0.3, "integration {temps:?} vs steady {ss:?}");
+            assert!(
+                (a - b).abs() < 0.3,
+                "integration {temps:?} vs steady {ss:?}"
+            );
         }
     }
 
@@ -567,10 +922,7 @@ mod tests {
     fn fan_boost_lowers_steady_state() {
         let plant = ExynosThermalNetwork::odroid_xu_e();
         let powers = plant.power_vector(&[0.9, 0.9, 0.9, 0.9], 0.05, 0.3, 0.4);
-        let no_fan = plant
-            .network()
-            .steady_state(&powers, 28.0)
-            .unwrap();
+        let no_fan = plant.network().steady_state(&powers, 28.0).unwrap();
         let with_fan = plant
             .network_with_fan_boost(0.075)
             .steady_state(&powers, 28.0)
@@ -603,7 +955,10 @@ mod tests {
         let t_idle = plant.network().steady_state(&idle, 28.0).unwrap();
         let t_busy = plant.network().steady_state(&gpu_busy, 28.0).unwrap();
         let d0 = plant.hotspot_temps(&t_busy)[0] - plant.hotspot_temps(&t_idle)[0];
-        assert!(d0 > 1.0, "GPU heat must couple into the big cores, delta {d0}");
+        assert!(
+            d0 > 1.0,
+            "GPU heat must couple into the big cores, delta {d0}"
+        );
     }
 
     #[test]
@@ -611,10 +966,51 @@ mod tests {
         let plant = ExynosThermalNetwork::odroid_xu_e();
         let network = plant.network();
         let temps = uniform_start(network, 30.0);
-        assert!(network.step(&temps[..3], &vec![0.0; 8], 25.0, 0.01).is_err());
-        assert!(network.step(&temps, &vec![0.0; 3], 25.0, 0.01).is_err());
-        assert!(network.step(&temps, &vec![0.0; 8], 25.0, 0.0).is_err());
-        assert!(network.steady_state(&vec![0.0; 2], 25.0).is_err());
+        assert!(network.step(&temps[..3], &[0.0; 8], 25.0, 0.01).is_err());
+        assert!(network.step(&temps, &[0.0; 3], 25.0, 0.01).is_err());
+        assert!(network.step(&temps, &[0.0; 8], 25.0, 0.0).is_err());
+        assert!(network.steady_state(&[0.0; 2], 25.0).is_err());
+    }
+
+    #[test]
+    fn step_transition_matches_staged_rk4() {
+        let plant = ExynosThermalNetwork::odroid_xu_e();
+        let network = plant.network();
+        let powers = plant.power_vector(&[0.9, 1.0, 0.8, 0.95], 0.05, 0.4, 0.4);
+        let boost = plant.fan_boost(0.055);
+        let transition = network.step_transition(boost, 28.0, 0.01).unwrap();
+        assert_eq!(transition.node_count(), 8);
+
+        let mut staged = uniform_start(network, 52.0);
+        let mut fast = staged.clone();
+        let mut scratch = RkScratch::new(network.node_count());
+        let mut tmp = vec![0.0; network.node_count()];
+        for step in 0..20_000 {
+            network
+                .step_into(&mut staged, &powers, 28.0, 0.01, boost, &mut scratch)
+                .unwrap();
+            transition.apply(&mut fast, &powers, &mut tmp);
+            if step % 1000 == 0 {
+                for (a, b) in staged.iter().zip(&fast) {
+                    assert!(
+                        (a - b).abs() < 1e-9,
+                        "transition diverged at step {step}: {staged:?} vs {fast:?}"
+                    );
+                }
+            }
+        }
+        for (a, b) in staged.iter().zip(&fast) {
+            assert!((a - b).abs() < 1e-9, "{staged:?} vs {fast:?}");
+        }
+    }
+
+    #[test]
+    fn step_transition_rejects_bad_step_size() {
+        let plant = ExynosThermalNetwork::odroid_xu_e();
+        assert!(plant
+            .network()
+            .step_transition(FanBoost::NONE, 28.0, 0.0)
+            .is_err());
     }
 
     #[test]

@@ -44,7 +44,9 @@ impl DiscreteThermalModel {
             ));
         }
         if !a.is_square() {
-            return Err(ThermalError::InvalidParameter("state matrix must be square"));
+            return Err(ThermalError::InvalidParameter(
+                "state matrix must be square",
+            ));
         }
         if b.rows() != a.rows() {
             return Err(ThermalError::DimensionMismatch {
@@ -145,10 +147,27 @@ impl DiscreteThermalModel {
     ///
     /// Returns [`ThermalError::DimensionMismatch`] for wrong-length vectors.
     pub fn step(&self, temps: &Vector, powers: &Vector) -> Result<Vector, ThermalError> {
+        let mut out = Vector::zeros(self.state_count());
+        self.step_into(temps, powers, &mut out)?;
+        Ok(out)
+    }
+
+    /// One prediction step written into `out` without allocating:
+    /// `out = As·temps + Bs·powers`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError::DimensionMismatch`] for wrong-length vectors.
+    pub fn step_into(
+        &self,
+        temps: &Vector,
+        powers: &Vector,
+        out: &mut Vector,
+    ) -> Result<(), ThermalError> {
         self.check_dims(temps, powers)?;
-        let at = self.a.mul_vector(temps)?;
-        let bp = self.b.mul_vector(powers)?;
-        Ok(at + bp)
+        self.a.mul_vec_into(temps, out)?;
+        self.b.mul_vec_acc_into(powers, out)?;
+        Ok(())
     }
 
     /// Predicts the temperature `horizon` steps ahead assuming the power
@@ -170,12 +189,40 @@ impl DiscreteThermalModel {
                 "prediction horizon must be at least one step",
             ));
         }
-        self.check_dims(temps, powers)?;
         let mut state = temps.clone();
-        for _ in 0..horizon {
-            state = self.step(&state, powers)?;
-        }
+        let mut tmp = Vector::zeros(self.state_count());
+        self.predict_constant_power_into(&mut state, powers, horizon, &mut tmp)?;
         Ok(state)
+    }
+
+    /// In-place form of [`DiscreteThermalModel::predict_constant_power`]:
+    /// advances `state` by `horizon` steps under constant `powers`, using
+    /// `tmp` as ping-pong scratch. Neither vector is reallocated when already
+    /// correctly sized, which is what keeps the DTPM decision path
+    /// allocation-free.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError::DimensionMismatch`] for wrong-length vectors or
+    /// [`ThermalError::InvalidParameter`] for a zero horizon.
+    pub fn predict_constant_power_into(
+        &self,
+        state: &mut Vector,
+        powers: &Vector,
+        horizon: usize,
+        tmp: &mut Vector,
+    ) -> Result<(), ThermalError> {
+        if horizon == 0 {
+            return Err(ThermalError::InvalidParameter(
+                "prediction horizon must be at least one step",
+            ));
+        }
+        self.check_dims(state, powers)?;
+        for _ in 0..horizon {
+            self.step_into(state, powers, tmp)?;
+            std::mem::swap(state, tmp);
+        }
+        Ok(())
     }
 
     /// Predicts the full temperature trajectory for a given power trajectory
@@ -392,12 +439,8 @@ mod tests {
     #[test]
     fn dimension_mismatch_rejected() {
         let model = example_model();
-        assert!(model
-            .step(&Vector::zeros(3), &Vector::zeros(4))
-            .is_err());
-        assert!(model
-            .step(&Vector::zeros(4), &Vector::zeros(2))
-            .is_err());
+        assert!(model.step(&Vector::zeros(3), &Vector::zeros(4)).is_err());
+        assert!(model.step(&Vector::zeros(4), &Vector::zeros(2)).is_err());
     }
 
     #[test]

@@ -500,10 +500,18 @@ mod tests {
 
     #[test]
     fn games_and_video_use_the_gpu() {
-        for id in [BenchmarkId::Templerun, BenchmarkId::AngryBirds, BenchmarkId::Youtube] {
+        for id in [
+            BenchmarkId::Templerun,
+            BenchmarkId::AngryBirds,
+            BenchmarkId::Youtube,
+        ] {
             assert!(id.spec().uses_gpu, "{id} should use the GPU");
         }
-        for id in [BenchmarkId::Blowfish, BenchmarkId::MatrixMult, BenchmarkId::Fft] {
+        for id in [
+            BenchmarkId::Blowfish,
+            BenchmarkId::MatrixMult,
+            BenchmarkId::Fft,
+        ] {
             assert!(!id.spec().uses_gpu, "{id} should not use the GPU");
         }
     }
@@ -515,7 +523,10 @@ mod tests {
             assert!(!spec.phases.is_empty(), "{id} has no phases");
             for phase in &spec.phases {
                 assert!(phase.work_units > 0.0, "{id} phase with no work");
-                assert!(phase.cpu_streams > 0.0 && phase.cpu_streams <= 4.0, "{id} streams");
+                assert!(
+                    phase.cpu_streams > 0.0 && phase.cpu_streams <= 4.0,
+                    "{id} streams"
+                );
                 assert!(
                     (0.0..=1.0).contains(&phase.activity_factor),
                     "{id} activity factor"

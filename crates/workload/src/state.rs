@@ -27,6 +27,8 @@ pub struct WorkloadState {
     rng: StdRng,
 }
 
+// Only referenced from the `#[serde(default = "default_rng")]` attribute.
+#[allow(dead_code)]
 fn default_rng() -> StdRng {
     StdRng::seed_from_u64(0)
 }
@@ -103,8 +105,7 @@ impl WorkloadState {
             } else {
                 0.0
             },
-            memory_intensity: phase.memory_intensity
-                * jitter(&mut self.rng, self.jitter_amplitude),
+            memory_intensity: phase.memory_intensity * jitter(&mut self.rng, self.jitter_amplitude),
             frequency_scalability: self.benchmark.id.frequency_scalability(),
         };
         self.background.combine(foreground.clamped())
@@ -163,7 +164,11 @@ mod tests {
         let mut wl = WorkloadState::new(BenchmarkId::MatrixMult, 3);
         for _ in 0..50 {
             let d = wl.demand();
-            assert!(d.cpu_streams > 3.0 && d.cpu_streams <= 4.0, "streams {}", d.cpu_streams);
+            assert!(
+                d.cpu_streams > 3.0 && d.cpu_streams <= 4.0,
+                "streams {}",
+                d.cpu_streams
+            );
             assert!(d.activity_factor > 0.8 && d.activity_factor <= 1.0);
             assert_eq!(d.gpu_utilization, 0.0);
         }

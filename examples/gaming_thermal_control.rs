@@ -17,7 +17,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("Running Temple Run under the four configurations of Section 6.2...\n");
     println!(
         "{:<18} {:>10} {:>12} {:>10} {:>10} {:>12} {:>12}",
-        "configuration", "exec (s)", "power (W)", "peak degC", "avg degC", "max-min degC", "little res. %"
+        "configuration",
+        "exec (s)",
+        "power (W)",
+        "peak degC",
+        "avg degC",
+        "max-min degC",
+        "little res. %"
     );
     let mut baseline_power = None;
     for kind in ExperimentKind::ALL {

@@ -59,7 +59,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             memory_intensity: 0.1,
             frequency_scalability: 1.0,
         };
-        let step = plant.step_interval(&state, &demand, FanLevel::Off, spec.ambient_c(), control_period_s)?;
+        let step = plant.step_interval(
+            &state,
+            &demand,
+            FanLevel::Off,
+            spec.ambient_c(),
+            control_period_s,
+        )?;
         let reading = sensors.sample(step.core_temps_c, &step.domain_power, step.platform_power_w);
         dataset.push(
             Vector::from_slice(&reading.core_temps_c),
@@ -70,7 +76,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 3. Identify the model on the first 70% and validate on the rest.
     let (train, test) = dataset.split(0.7)?;
     let model = identify(&train, &IdentificationOptions::default())?;
-    println!("\nIdentified model (sample period {:.1} s):", model.sample_period_s());
+    println!(
+        "\nIdentified model (sample period {:.1} s):",
+        model.sample_period_s()
+    );
     println!("  As =\n{}", model.a());
     println!("  Bs =\n{}", model.b());
     println!("  stable: {}", model.is_stable());

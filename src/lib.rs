@@ -1,0 +1,17 @@
+//! Umbrella crate for the DTPM reproduction workspace.
+//!
+//! The actual functionality lives in the `crates/` members; this root package
+//! only hosts the repo-level integration tests (`tests/`) and the runnable
+//! examples (`examples/`), and re-exports the member crates for convenience.
+
+// (`bench` is not re-exported: a bare `pub use bench;` collides with the
+// built-in `#[bench]` macro name; depend on the crate directly instead.)
+pub use dtpm;
+pub use governors;
+pub use numeric;
+pub use platform_sim;
+pub use power_model;
+pub use soc_model;
+pub use sysid;
+pub use thermal_model;
+pub use workload;

@@ -53,8 +53,8 @@ fn configurations_rank_as_in_the_paper_for_a_heavy_benchmark() {
     // The performance cost of DTPM stays bounded for a run of this length
     // (the paper reports at most ~5%; allow extra head-room for the simulated
     // plant, which heats faster than the real board).
-    let loss = 100.0 * (dtpm.execution_time_s - with_fan.execution_time_s)
-        / with_fan.execution_time_s;
+    let loss =
+        100.0 * (dtpm.execution_time_s - with_fan.execution_time_s) / with_fan.execution_time_s;
     assert!(
         (0.0..20.0).contains(&loss),
         "DTPM performance loss {loss:.1}% out of expected range"

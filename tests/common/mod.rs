@@ -1,6 +1,9 @@
 //! Shared helpers for the cross-crate integration tests.
 
-use platform_sim::{Calibration, CalibrationCampaign, Experiment, ExperimentConfig, ExperimentKind, SimulationResult};
+use platform_sim::{
+    Calibration, CalibrationCampaign, Experiment, ExperimentConfig, ExperimentKind,
+    SimulationResult,
+};
 use workload::BenchmarkId;
 
 /// A reduced-length characterisation campaign used by the integration tests:

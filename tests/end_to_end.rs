@@ -12,7 +12,10 @@ fn dtpm_runs_a_benchmark_to_completion_within_the_thermal_constraint() {
     let calibration = common::quick_calibration();
     let result = common::run(&calibration, ExperimentKind::Dtpm, BenchmarkId::Patricia);
 
-    assert!(result.completed, "patricia must finish within the duration cap");
+    assert!(
+        result.completed,
+        "patricia must finish within the duration cap"
+    );
     assert!(result.execution_time_s > 50.0, "suspiciously short run");
     assert!(!result.trace.is_empty());
 
@@ -81,9 +84,15 @@ fn dtpm_trace_reports_predictions_and_interventions_for_heavy_workloads() {
         .frequency_series()
         .into_iter()
         .fold(f64::INFINITY, f64::min);
-    assert!(min_freq < 1600.0, "matrix multiplication must see throttling");
+    assert!(
+        min_freq < 1600.0,
+        "matrix multiplication must see throttling"
+    );
 
     // The platform state in every record stays consistent with the actions.
     let peak = result.trace.temperature_summary().max;
-    assert!(peak <= 65.0, "peak {peak:.1} degC exceeds the constraint region");
+    assert!(
+        peak <= 65.0,
+        "peak {peak:.1} degC exceeds the constraint region"
+    );
 }

@@ -31,7 +31,10 @@ fn identified_model_meets_the_papers_accuracy_targets() {
 #[test]
 fn furnace_characterisation_recovers_temperature_dependent_leakage() {
     let calibration = common::full_calibration();
-    let leak = calibration.power_model.domain(PowerDomain::BigCpu).leakage();
+    let leak = calibration
+        .power_model
+        .domain(PowerDomain::BigCpu)
+        .leakage();
     let v = Voltage::from_volts(1.2);
 
     // Leakage must grow steeply (roughly 2.5-4x) from 40 to 80 degC, the shape

@@ -24,7 +24,11 @@ fn power_savings_grow_with_workload_intensity() {
         let with_fan = common::run(&calibration, ExperimentKind::DefaultWithFan, benchmark);
         let dtpm = common::run(&calibration, ExperimentKind::Dtpm, benchmark);
         let cmp = BenchmarkComparison::against_baseline(&with_fan, &dtpm);
-        savings.push((benchmark, cmp.power_saving_percent, cmp.performance_loss_percent));
+        savings.push((
+            benchmark,
+            cmp.power_saving_percent,
+            cmp.performance_loss_percent,
+        ));
     }
 
     // Savings must be non-trivial for the heavier categories and must increase
@@ -47,7 +51,11 @@ fn power_savings_grow_with_workload_intensity() {
             "{benchmark} performance loss {loss:.1}% too large"
         );
     }
-    assert!(savings[0].2 < 2.0, "low-activity loss {:.2}% too large", savings[0].2);
+    assert!(
+        savings[0].2 < 2.0,
+        "low-activity loss {:.2}% too large",
+        savings[0].2
+    );
 }
 
 #[test]

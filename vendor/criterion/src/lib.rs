@@ -1,0 +1,253 @@
+//! Offline stand-in for the real `criterion` crate.
+//!
+//! The build environment has no network access, so this vendored crate
+//! implements the subset of criterion's API the workspace benches use:
+//! `Criterion::bench_function` / `benchmark_group`, `Bencher::iter` /
+//! `iter_batched`, the `criterion_group!` / `criterion_main!` macros and
+//! `black_box`. Timing is a simple calibrated wall-clock loop (median of
+//! several samples); results print as `<name> ... <time>/iter`. Passing
+//! `--test` (as `cargo bench -- --test` does with real criterion) runs every
+//! benchmark body exactly once, which is what CI's smoke invocation uses.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How batched inputs are grouped; accepted for API compatibility.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Debug)]
+pub struct Criterion {
+    test_mode: bool,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut test_mode = false;
+        let mut filter = None;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => test_mode = true,
+                // Flags cargo/criterion pass that we accept and ignore.
+                "--bench" | "--verbose" | "--quiet" | "--noplot" => {}
+                other if other.starts_with("--") => {}
+                other => filter = Some(other.to_owned()),
+            }
+        }
+        Criterion { test_mode, filter }
+    }
+}
+
+impl Criterion {
+    /// Runs (or in `--test` mode, smoke-runs) one benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return self;
+            }
+        }
+        let mut bencher = Bencher {
+            test_mode: self.test_mode,
+            sampled: None,
+        };
+        f(&mut bencher);
+        match bencher.sampled {
+            Some(per_iter) => println!("bench: {name:<60} {}", format_duration(per_iter)),
+            None => println!("bench: {name:<60} (no measurement)"),
+        }
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_owned(),
+        }
+    }
+}
+
+/// A named collection of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stand-in picks its own sampling.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name);
+        self.criterion.bench_function(&full, f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure to drive the measured routine.
+#[derive(Debug)]
+pub struct Bencher {
+    test_mode: bool,
+    sampled: Option<Duration>,
+}
+
+impl Bencher {
+    /// Measures `routine`, called in a tight loop.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        if self.test_mode {
+            black_box(routine());
+            return;
+        }
+        // Calibrate the iteration count towards ~50 ms per sample.
+        let mut iters: u64 = 1;
+        let per_iter = loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(50) || iters >= 1 << 24 {
+                break elapsed / iters.max(1) as u32;
+            }
+            iters = iters.saturating_mul(4);
+        };
+        // Median of five samples at the calibrated count.
+        let mut samples = Vec::with_capacity(5);
+        samples.push(per_iter);
+        for _ in 0..4 {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            samples.push(start.elapsed() / iters.max(1) as u32);
+        }
+        samples.sort();
+        self.sampled = Some(samples[samples.len() / 2]);
+    }
+
+    /// Measures `routine` over inputs produced by `setup` (setup excluded
+    /// from timing).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        if self.test_mode {
+            black_box(routine(setup()));
+            return;
+        }
+        let mut iters: u64 = 1;
+        let per_iter = loop {
+            let inputs: Vec<I> = (0..iters).map(|_| setup()).collect();
+            let start = Instant::now();
+            for input in inputs {
+                black_box(routine(input));
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(50) || iters >= 1 << 20 {
+                break elapsed / iters.max(1) as u32;
+            }
+            iters = iters.saturating_mul(4);
+        };
+        self.sampled = Some(per_iter);
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 10_000 {
+        format!("{nanos} ns/iter")
+    } else if nanos < 10_000_000 {
+        format!("{:.2} us/iter", nanos as f64 / 1e3)
+    } else {
+        format!("{:.2} ms/iter", nanos as f64 / 1e6)
+    }
+}
+
+/// Declares a group function that runs the listed benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::default();
+            $($group(&mut criterion);)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures_something() {
+        let mut c = Criterion {
+            test_mode: false,
+            filter: None,
+        };
+        let mut ran = false;
+        c.bench_function("smoke", |b| {
+            b.iter(|| black_box(1 + 1));
+            ran = true;
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn groups_run_and_finish() {
+        let mut c = Criterion {
+            test_mode: true,
+            filter: None,
+        };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10);
+        let mut count = 0;
+        group.bench_function("a", |b| b.iter(|| count += 1));
+        group.bench_function("b", |b| {
+            b.iter_batched(|| 1, |x| x + 1, BatchSize::SmallInput)
+        });
+        group.finish();
+        assert_eq!(count, 1);
+    }
+}

@@ -1,0 +1,14 @@
+//! Offline stand-in for the real `serde` crate.
+//!
+//! Provides the `Serialize` / `Deserialize` names in both the trait and the
+//! derive-macro namespaces, which is all the workspace uses (types derive the
+//! traits so they stay serde-ready, but nothing serializes at run time). The
+//! derives expand to nothing; see `vendor/serde_derive`.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize` (no methods are ever called).
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize` (no methods are ever called).
+pub trait Deserialize<'de> {}

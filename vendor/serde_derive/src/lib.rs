@@ -1,0 +1,22 @@
+//! Offline stand-in for the real `serde_derive` crate.
+//!
+//! The build environment has no network access, so the workspace vendors the
+//! minimal surface it needs: the repo only ever *derives* `Serialize` /
+//! `Deserialize` (nothing is actually serialized at run time), so the derive
+//! macros accept the usual syntax — including `#[serde(...)]` field and
+//! container attributes — and expand to nothing. Swapping in the real serde
+//! only requires changing the `[workspace.dependencies]` entries.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
