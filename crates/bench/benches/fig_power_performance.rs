@@ -16,7 +16,7 @@ fn bench_benchmark_comparison(c: &mut Criterion) {
     group.bench_function("crc32_dtpm_vs_fan", |b| {
         b.iter(|| {
             let baseline = Experiment::new(
-                ExperimentConfig::new(ExperimentKind::DefaultWithFan, BenchmarkId::Crc32)
+                &ExperimentConfig::new(ExperimentKind::DefaultWithFan, BenchmarkId::Crc32)
                     .with_seed(7),
                 &context.calibration,
             )
@@ -24,7 +24,7 @@ fn bench_benchmark_comparison(c: &mut Criterion) {
             .run()
             .unwrap();
             let dtpm = Experiment::new(
-                ExperimentConfig::new(ExperimentKind::Dtpm, BenchmarkId::Crc32).with_seed(7),
+                &ExperimentConfig::new(ExperimentKind::Dtpm, BenchmarkId::Crc32).with_seed(7),
                 &context.calibration,
             )
             .unwrap()

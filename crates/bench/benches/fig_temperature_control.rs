@@ -22,7 +22,7 @@ fn bench_closed_loop_runs(c: &mut Criterion) {
             b.iter(|| {
                 let mut config = ExperimentConfig::new(kind, BenchmarkId::Dijkstra).with_seed(7);
                 config.max_duration_s = 120.0;
-                let result = Experiment::new(config, &context.calibration)
+                let result = Experiment::new(&config, &context.calibration)
                     .expect("experiment builds")
                     .run()
                     .expect("experiment runs");

@@ -1,0 +1,193 @@
+//! Criterion benchmark for the structure-of-arrays batched plant engine.
+//!
+//! Measures `BatchPlant::step_interval` advancing eight scenarios per
+//! instruction stream against the per-scenario scalar loop (eight independent
+//! `PhysicalPlant`s stepped back to back — what `ScenarioSweep` does per
+//! worker thread without lanes). Besides the per-case criterion numbers it
+//! prints total integrator micro-steps per second for both engines and the
+//! batched-over-scalar speedup; the repo's acceptance bar is ≥ 2× at eight
+//! lanes, asserted as a floor in the full (non `--test`) run.
+//!
+//! The measured numbers are also written to `BENCH_sweep_step.json` at the
+//! workspace root so sweeps of the bench can be tracked over time.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
+
+use platform_sim::{BatchLaneInput, BatchPlant, PhysicalPlant, PlantPowerParams};
+use soc_model::{FanLevel, PlatformState, SocSpec};
+use workload::Demand;
+
+const CONTROL_PERIOD_S: f64 = 0.1;
+/// Micro-steps per control interval (the plant integrates at dt = 10 ms).
+const MICRO_STEPS_PER_INTERVAL: f64 = 10.0;
+/// Scenarios advanced per instruction stream in the batched engine.
+const LANES: usize = 8;
+/// Acceptance floor for the batched engine at eight lanes.
+const SPEEDUP_FLOOR: f64 = 2.0;
+
+fn busy_demand() -> Demand {
+    Demand {
+        cpu_streams: 3.5,
+        activity_factor: 0.9,
+        gpu_utilization: 0.4,
+        memory_intensity: 0.5,
+        frequency_scalability: 0.9,
+    }
+}
+
+fn bench_sweep_step(c: &mut Criterion) {
+    let spec = SocSpec::odroid_xu_e();
+    let demand = busy_demand();
+    let state = PlatformState::default_for(&spec);
+    let params = [PlantPowerParams::default(); LANES];
+
+    let mut group = c.benchmark_group("sweep_step/8_scenarios_100ms");
+    let mut batched = BatchPlant::new(spec.clone(), &params);
+    group.bench_function("batched", |b| {
+        b.iter(|| {
+            let inputs: [BatchLaneInput<'_>; LANES] = std::array::from_fn(|_| BatchLaneInput {
+                state: black_box(&state),
+                demand: black_box(&demand),
+                fan_level: FanLevel::Off,
+                ambient_c: 28.0,
+            });
+            black_box(batched.step_interval(&inputs, CONTROL_PERIOD_S).unwrap())
+        })
+    });
+    let mut scalars: Vec<PhysicalPlant> = params
+        .iter()
+        .map(|p| PhysicalPlant::new(spec.clone(), *p))
+        .collect();
+    group.bench_function("scalar_per_scenario", |b| {
+        b.iter(|| {
+            for plant in &mut scalars {
+                black_box(
+                    plant
+                        .step_interval(
+                            black_box(&state),
+                            black_box(&demand),
+                            FanLevel::Off,
+                            28.0,
+                            CONTROL_PERIOD_S,
+                        )
+                        .unwrap(),
+                );
+            }
+        })
+    });
+    group.finish();
+
+    report_steps_per_second(&spec, &state, &demand);
+}
+
+/// Times both engines over the same simulated horizon and prints lane
+/// micro-steps/sec plus the speedup factor; asserts the acceptance floor.
+fn report_steps_per_second(spec: &SocSpec, state: &PlatformState, demand: &Demand) {
+    let test_mode = std::env::args().any(|a| a == "--test");
+    let intervals: usize = if test_mode { 20 } else { 4_000 };
+    let passes: usize = if test_mode { 1 } else { 3 };
+    let params = [PlantPowerParams::default(); LANES];
+
+    // Best-of-N wall-clock per engine: the minimum is the least-interference
+    // estimate on a shared machine (the simulated trajectory is identical in
+    // every pass).
+    let mut batched = BatchPlant::new(spec.clone(), &params);
+    let mut batched_elapsed = std::time::Duration::MAX;
+    for _ in 0..passes {
+        let start = Instant::now();
+        for _ in 0..intervals {
+            let inputs: [BatchLaneInput<'_>; LANES] = std::array::from_fn(|_| BatchLaneInput {
+                state,
+                demand,
+                fan_level: FanLevel::Off,
+                ambient_c: 28.0,
+            });
+            black_box(batched.step_interval(&inputs, CONTROL_PERIOD_S).unwrap());
+        }
+        batched_elapsed = batched_elapsed.min(start.elapsed());
+    }
+
+    let mut scalars: Vec<PhysicalPlant> = params
+        .iter()
+        .map(|p| PhysicalPlant::new(spec.clone(), *p))
+        .collect();
+    let mut scalar_elapsed = std::time::Duration::MAX;
+    for _ in 0..passes {
+        let start = Instant::now();
+        for _ in 0..intervals {
+            for plant in &mut scalars {
+                black_box(
+                    plant
+                        .step_interval(state, demand, FanLevel::Off, 28.0, CONTROL_PERIOD_S)
+                        .unwrap(),
+                );
+            }
+        }
+        scalar_elapsed = scalar_elapsed.min(start.elapsed());
+    }
+
+    // Both engines advanced LANES scenarios for `intervals` control
+    // intervals; count lane micro-steps.
+    let micro_steps = (intervals * LANES) as f64 * MICRO_STEPS_PER_INTERVAL;
+    let batched_sps = micro_steps / batched_elapsed.as_secs_f64();
+    let scalar_sps = micro_steps / scalar_elapsed.as_secs_f64();
+    let speedup = batched_sps / scalar_sps;
+    println!(
+        "sweep_step/lane_steps_per_sec/batched    {batched_sps:>14.0} steps/s ({LANES} lanes)"
+    );
+    println!("sweep_step/lane_steps_per_sec/scalar     {scalar_sps:>14.0} steps/s");
+    println!(
+        "sweep_step/speedup_vs_scalar             {speedup:>14.2}x (acceptance floor: >= {SPEEDUP_FLOOR}x)"
+    );
+
+    // Cross-check the engines while we have them side by side: after the
+    // same simulated horizon every lane must match its scalar twin far below
+    // any physically meaningful scale.
+    let mut worst = 0.0f64;
+    for (lane, plant) in scalars.iter().enumerate() {
+        for (a, b) in batched
+            .node_temps_c(lane)
+            .iter()
+            .zip(plant.node_temps_c().iter())
+        {
+            worst = worst.max((a - b).abs());
+        }
+    }
+    println!("sweep_step/max_lane_divergence_degc      {worst:>14.2e}");
+    assert!(
+        worst < 1e-9,
+        "batched and scalar trajectories diverged: {worst} degC"
+    );
+
+    if !test_mode {
+        write_bench_json(batched_sps, scalar_sps, speedup, worst);
+        // Regression guard: asserted only on the full run — the --test smoke
+        // run is too short to measure meaningfully.
+        assert!(
+            speedup >= SPEEDUP_FLOOR,
+            "batched engine regressed to {speedup:.2}x over the scalar per-scenario loop \
+             (floor: {SPEEDUP_FLOOR}x)"
+        );
+    }
+}
+
+/// Records the measured numbers for tracking (`BENCH_sweep_step.json`).
+fn write_bench_json(batched_sps: f64, scalar_sps: f64, speedup: f64, divergence_c: f64) {
+    let json = format!(
+        "{{\n  \"bench\": \"sweep_step\",\n  \"lanes\": {LANES},\n  \
+         \"batched_lane_steps_per_sec\": {batched_sps:.0},\n  \
+         \"scalar_lane_steps_per_sec\": {scalar_sps:.0},\n  \
+         \"speedup_vs_scalar\": {speedup:.3},\n  \
+         \"max_lane_divergence_degc\": {divergence_c:.3e},\n  \
+         \"floor\": {SPEEDUP_FLOOR}\n}}\n"
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sweep_step.json");
+    if let Err(e) = std::fs::write(path, json) {
+        eprintln!("warning: could not write {path}: {e}");
+    }
+}
+
+criterion_group!(benches, bench_sweep_step);
+criterion_main!(benches);

@@ -18,7 +18,7 @@ fn run(
     if context.quick {
         config.max_duration_s = 240.0;
     }
-    Experiment::new(config, &context.calibration)?.run()
+    Experiment::new(&config, &context.calibration)?.run()
 }
 
 fn temperature_figure(

@@ -14,6 +14,11 @@
 //! evaluation (variance, max–min spread, RMSE, MAPE, fit percentage) and
 //! [`interp`] provides the table interpolation used by voltage/frequency maps.
 //!
+//! For batched scenario evaluation, [`panel`] adds the structure-of-arrays
+//! [`Panel`] (one scenario per column) and the blocked matrix–panel kernels
+//! ([`Matrix::mul_panel_into`], [`affine_pair_apply`]) that advance many
+//! scenarios per instruction stream with each matrix loaded once per step.
+//!
 //! # Example
 //!
 //! ```
@@ -36,6 +41,7 @@ pub mod fit;
 pub mod interp;
 pub mod lstsq;
 pub mod matrix;
+pub mod panel;
 pub mod solve;
 pub mod stats;
 
@@ -46,5 +52,6 @@ pub use fit::{levenberg_marquardt, FitOptions, FitReport};
 pub use interp::{interp1, Table1d};
 pub use lstsq::{lstsq, ridge_lstsq};
 pub use matrix::{Matrix, Vector};
+pub use panel::{affine_pair_apply, Panel, LANE_CHUNK};
 pub use solve::LuDecomposition;
 pub use stats::Summary;

@@ -1,0 +1,546 @@
+//! Structure-of-arrays panels: one scenario per column.
+//!
+//! A [`Panel`] holds the same state vector for `lanes` independent scenarios
+//! side by side: row `i` stores element `i` of every scenario contiguously, so
+//! column `l` is scenario `l`'s state scattered at stride `lanes`. Batched
+//! kernels walk a row across all lanes with unit stride, which is exactly the
+//! layout the autovectorizer wants and what lets an `n × n` transition matrix
+//! be loaded *once* per step for every scenario instead of once per scenario.
+//!
+//! The panel kernels ([`Matrix::mul_panel_into`], [`affine_pair_apply`])
+//! process lanes in fixed-width chunks of [`LANE_CHUNK`] with register
+//! accumulators (two output rows per pass so each loaded input row is reused),
+//! falling back to a per-lane scalar loop for the remainder. Both paths
+//! accumulate in the same per-lane order (`j = 0..n`, `A`-term before
+//! `B`-term), so a lane's result is bit-identical no matter which path
+//! processed it or how many lanes surround it.
+//!
+//! # Example
+//!
+//! ```
+//! use numeric::{Matrix, Panel};
+//!
+//! # fn main() -> Result<(), numeric::NumericError> {
+//! // Two scenarios advanced by the same 2×2 map in one pass.
+//! let a = Matrix::from_rows(&[&[0.5, 0.0], &[0.0, 2.0]])?;
+//! let mut x = Panel::zeros(2, 2);
+//! x.set_column(0, &[1.0, 1.0]);
+//! x.set_column(1, &[4.0, 4.0]);
+//! let mut out = Panel::zeros(2, 2);
+//! a.mul_panel_into(&x, &mut out)?;
+//! assert_eq!(out.column(0), vec![0.5, 2.0]);
+//! assert_eq!(out.column(1), vec![2.0, 8.0]);
+//! # Ok(())
+//! # }
+//! ```
+
+use serde::{Deserialize, Serialize};
+
+use crate::matrix::Matrix;
+use crate::NumericError;
+
+/// Width of the register-blocked fast path of the panel kernels.
+pub const LANE_CHUNK: usize = 8;
+
+/// A structure-of-arrays panel: `rows` state elements for `lanes` independent
+/// scenarios, stored row-major (`data[i * lanes + l]` is element `i` of
+/// scenario `l`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Panel {
+    rows: usize,
+    lanes: usize,
+    data: Vec<f64>,
+}
+
+impl Panel {
+    /// Creates a `rows × lanes` panel filled with zeros.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` or `lanes` is zero.
+    pub fn zeros(rows: usize, lanes: usize) -> Self {
+        assert!(rows > 0 && lanes > 0, "panel dimensions must be non-zero");
+        Panel {
+            rows,
+            lanes,
+            data: vec![0.0; rows * lanes],
+        }
+    }
+
+    /// Number of state rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of scenario lanes (columns).
+    #[inline]
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Row `i` across all lanes, unit stride.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.rows()`.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        assert!(i < self.rows, "panel row index out of bounds");
+        &self.data[i * self.lanes..(i + 1) * self.lanes]
+    }
+
+    /// Mutable row `i` across all lanes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.rows()`.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        assert!(i < self.rows, "panel row index out of bounds");
+        &mut self.data[i * self.lanes..(i + 1) * self.lanes]
+    }
+
+    /// Element `i` of scenario `lane`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` or `lane` is out of bounds.
+    #[inline]
+    pub fn get(&self, i: usize, lane: usize) -> f64 {
+        assert!(
+            i < self.rows && lane < self.lanes,
+            "panel index out of bounds"
+        );
+        self.data[i * self.lanes + lane]
+    }
+
+    /// Sets element `i` of scenario `lane`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` or `lane` is out of bounds.
+    #[inline]
+    pub fn set(&mut self, i: usize, lane: usize, value: f64) {
+        assert!(
+            i < self.rows && lane < self.lanes,
+            "panel index out of bounds"
+        );
+        self.data[i * self.lanes + lane] = value;
+    }
+
+    /// Copies scenario `lane`'s state vector into the panel (one value per
+    /// row).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane` is out of bounds or `values.len() != self.rows()`.
+    pub fn set_column(&mut self, lane: usize, values: &[f64]) {
+        assert!(lane < self.lanes, "panel lane index out of bounds");
+        assert_eq!(values.len(), self.rows, "column length mismatch");
+        for (i, &v) in values.iter().enumerate() {
+            self.data[i * self.lanes + lane] = v;
+        }
+    }
+
+    /// Extracts scenario `lane`'s state vector into `out`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane` is out of bounds or `out.len() != self.rows()`.
+    pub fn column_into(&self, lane: usize, out: &mut [f64]) {
+        assert!(lane < self.lanes, "panel lane index out of bounds");
+        assert_eq!(out.len(), self.rows, "column length mismatch");
+        for (i, slot) in out.iter_mut().enumerate() {
+            *slot = self.data[i * self.lanes + lane];
+        }
+    }
+
+    /// Scenario `lane`'s state vector as a fresh `Vec` (allocating
+    /// convenience over [`Panel::column_into`]).
+    pub fn column(&self, lane: usize) -> Vec<f64> {
+        let mut out = vec![0.0; self.rows];
+        self.column_into(lane, &mut out);
+        out
+    }
+
+    /// Fills the whole panel with `value`.
+    pub fn fill(&mut self, value: f64) {
+        self.data.fill(value);
+    }
+
+    /// The underlying row-major storage.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// The underlying row-major storage, mutably.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+}
+
+impl Matrix {
+    /// The `i`-th row as a borrowed slice — the allocation-free form of
+    /// [`Matrix::row`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.rows()`.
+    #[inline]
+    pub fn row_slice(&self, i: usize) -> &[f64] {
+        assert!(i < self.rows(), "row index out of bounds");
+        &self.as_slice()[i * self.cols()..(i + 1) * self.cols()]
+    }
+
+    /// Matrix–panel product `out = self · x`: advances every scenario column
+    /// of `x` through the same linear map in one pass, loading each matrix
+    /// entry once for all lanes.
+    ///
+    /// Lanes are processed in register-blocked chunks of [`LANE_CHUNK`] (two
+    /// output rows per pass) with a scalar per-lane remainder; every lane
+    /// accumulates in the same order, so results are bit-identical across
+    /// chunk boundaries and lane counts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::DimensionMismatch`] if `self.cols() != x.rows()`
+    /// or `out` is not `self.rows() × x.lanes()`.
+    pub fn mul_panel_into(&self, x: &Panel, out: &mut Panel) -> Result<(), NumericError> {
+        if self.cols() != x.rows() {
+            return Err(NumericError::DimensionMismatch {
+                operation: "matrix-panel multiplication",
+                left: (self.rows(), self.cols()),
+                right: (x.rows(), x.lanes()),
+            });
+        }
+        if out.rows != self.rows() || out.lanes != x.lanes {
+            return Err(NumericError::DimensionMismatch {
+                operation: "matrix-panel output",
+                left: (self.rows(), x.lanes),
+                right: (out.rows, out.lanes),
+            });
+        }
+        fused_panel_kernel(self, None, None, x, None, out);
+        Ok(())
+    }
+}
+
+/// Fused affine panel step `out = bias ⊗ 1ᵀ + a·x + b·y`.
+///
+/// This is the batched form of one affine transition applied to `x.lanes()`
+/// scenarios at once: both matrices are streamed through the cache a single
+/// time per call, and the inner loops run across lanes at unit stride. For
+/// each output element the accumulation order is `bias`, then for `j = 0..n`
+/// the `a`-term followed by the `b`-term — the same order for every lane and
+/// identical to a scalar column-major (axpy) evaluation, which is what makes
+/// batched and scalar transition stepping agree to the last bit.
+///
+/// # Errors
+///
+/// Returns [`NumericError::DimensionMismatch`] if the matrix shapes differ,
+/// `bias` does not cover the output rows, the panels disagree in shape, or
+/// `out` is not `a.rows() × x.lanes()`.
+pub fn affine_pair_apply(
+    a: &Matrix,
+    b: &Matrix,
+    bias: &[f64],
+    x: &Panel,
+    y: &Panel,
+    out: &mut Panel,
+) -> Result<(), NumericError> {
+    if a.rows() != b.rows() || a.cols() != b.cols() {
+        return Err(NumericError::DimensionMismatch {
+            operation: "affine panel pair",
+            left: (a.rows(), a.cols()),
+            right: (b.rows(), b.cols()),
+        });
+    }
+    if a.cols() != x.rows() || x.rows != y.rows || x.lanes != y.lanes {
+        return Err(NumericError::DimensionMismatch {
+            operation: "affine panel inputs",
+            left: (a.cols(), x.lanes),
+            right: (y.rows, y.lanes),
+        });
+    }
+    if bias.len() != a.rows() || out.rows != a.rows() || out.lanes != x.lanes {
+        return Err(NumericError::DimensionMismatch {
+            operation: "affine panel output",
+            left: (a.rows(), x.lanes),
+            right: (out.rows, out.lanes),
+        });
+    }
+    fused_panel_kernel(a, Some(b), Some(bias), x, Some(y), out);
+    Ok(())
+}
+
+/// Shared blocked kernel behind [`Matrix::mul_panel_into`] and
+/// [`affine_pair_apply`]. `b`/`y` are `None` for the single-matrix product;
+/// a `None` bias means all zeros (no allocation). Dimensions are assumed
+/// pre-validated.
+fn fused_panel_kernel(
+    a: &Matrix,
+    b: Option<&Matrix>,
+    bias: Option<&[f64]>,
+    x: &Panel,
+    y: Option<&Panel>,
+    out: &mut Panel,
+) {
+    let bias_at = |i: usize| bias.map_or(0.0, |b| b[i]);
+    let m = a.rows();
+    let n = a.cols();
+    let lanes = x.lanes;
+    let a_data = a.as_slice();
+    let b_data = b.map(Matrix::as_slice);
+    let x_data = x.as_slice();
+    let y_data = y.map(Panel::as_slice);
+
+    let mut off = 0;
+    while off < lanes {
+        let width = (lanes - off).min(LANE_CHUNK);
+        if width == LANE_CHUNK {
+            // Register-blocked fast path: two output rows per pass so each
+            // loaded input row is applied twice.
+            let mut i = 0;
+            while i + 1 < m {
+                let mut acc0 = [bias_at(i); LANE_CHUNK];
+                let mut acc1 = [bias_at(i + 1); LANE_CHUNK];
+                for j in 0..n {
+                    let a0 = a_data[i * n + j];
+                    let a1 = a_data[(i + 1) * n + j];
+                    let x_row = &x_data[j * lanes + off..j * lanes + off + LANE_CHUNK];
+                    match (b_data, y_data) {
+                        (Some(bd), Some(yd)) => {
+                            let b0 = bd[i * n + j];
+                            let b1 = bd[(i + 1) * n + j];
+                            let y_row = &yd[j * lanes + off..j * lanes + off + LANE_CHUNK];
+                            for q in 0..LANE_CHUNK {
+                                let xv = x_row[q];
+                                let yv = y_row[q];
+                                acc0[q] += a0 * xv + b0 * yv;
+                                acc1[q] += a1 * xv + b1 * yv;
+                            }
+                        }
+                        _ => {
+                            for q in 0..LANE_CHUNK {
+                                let xv = x_row[q];
+                                acc0[q] += a0 * xv;
+                                acc1[q] += a1 * xv;
+                            }
+                        }
+                    }
+                }
+                out.data[i * lanes + off..i * lanes + off + LANE_CHUNK].copy_from_slice(&acc0);
+                out.data[(i + 1) * lanes + off..(i + 1) * lanes + off + LANE_CHUNK]
+                    .copy_from_slice(&acc1);
+                i += 2;
+            }
+            if i < m {
+                let mut acc = [bias_at(i); LANE_CHUNK];
+                for j in 0..n {
+                    let a0 = a_data[i * n + j];
+                    let x_row = &x_data[j * lanes + off..j * lanes + off + LANE_CHUNK];
+                    match (b_data, y_data) {
+                        (Some(bd), Some(yd)) => {
+                            let b0 = bd[i * n + j];
+                            let y_row = &yd[j * lanes + off..j * lanes + off + LANE_CHUNK];
+                            for q in 0..LANE_CHUNK {
+                                acc[q] += a0 * x_row[q] + b0 * y_row[q];
+                            }
+                        }
+                        _ => {
+                            for q in 0..LANE_CHUNK {
+                                acc[q] += a0 * x_row[q];
+                            }
+                        }
+                    }
+                }
+                out.data[i * lanes + off..i * lanes + off + LANE_CHUNK].copy_from_slice(&acc);
+            }
+        } else {
+            // Scalar remainder: same per-lane accumulation order as the
+            // blocked path, so lane results never depend on the chunking.
+            for i in 0..m {
+                for q in 0..width {
+                    let lane = off + q;
+                    let mut acc = bias_at(i);
+                    match (b_data, y_data) {
+                        (Some(bd), Some(yd)) => {
+                            for j in 0..n {
+                                // Single expression per j, matching the
+                                // blocked path's rounding exactly.
+                                acc += a_data[i * n + j] * x_data[j * lanes + lane]
+                                    + bd[i * n + j] * yd[j * lanes + lane];
+                            }
+                        }
+                        _ => {
+                            for j in 0..n {
+                                acc += a_data[i * n + j] * x_data[j * lanes + lane];
+                            }
+                        }
+                    }
+                    out.data[i * lanes + lane] = acc;
+                }
+            }
+        }
+        off += width;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Vector;
+
+    fn test_matrix(n: usize, seed: f64) -> Matrix {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                m[(i, j)] = ((i * n + j) as f64).sin() * seed + if i == j { 0.9 } else { 0.0 };
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn panel_accessors_round_trip() {
+        let mut p = Panel::zeros(3, 5);
+        assert_eq!(p.rows(), 3);
+        assert_eq!(p.lanes(), 5);
+        p.set(1, 4, 2.5);
+        assert_eq!(p.get(1, 4), 2.5);
+        p.set_column(2, &[1.0, 2.0, 3.0]);
+        assert_eq!(p.column(2), vec![1.0, 2.0, 3.0]);
+        assert_eq!(p.row(1)[2], 2.0);
+        p.row_mut(0)[0] = 7.0;
+        assert_eq!(p.get(0, 0), 7.0);
+        let mut col = vec![0.0; 3];
+        p.column_into(2, &mut col);
+        assert_eq!(col, vec![1.0, 2.0, 3.0]);
+        p.fill(0.0);
+        assert!(p.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "column length mismatch")]
+    fn set_column_rejects_wrong_length() {
+        Panel::zeros(3, 2).set_column(0, &[1.0]);
+    }
+
+    #[test]
+    fn row_slice_matches_row() {
+        let m = test_matrix(4, 0.3);
+        for i in 0..4 {
+            assert_eq!(m.row_slice(i), m.row(i).as_slice());
+        }
+    }
+
+    #[test]
+    fn mul_panel_matches_per_column_mat_vec() {
+        // Cover the blocked path, the remainder path and the odd-row tail.
+        for lanes in [1, 3, 7, 8, 9, 16, 19] {
+            for n in [3, 4, 8] {
+                let a = test_matrix(n, 0.7);
+                let mut x = Panel::zeros(n, lanes);
+                for lane in 0..lanes {
+                    let col: Vec<f64> = (0..n).map(|i| (lane * n + i) as f64 * 0.1 + 1.0).collect();
+                    x.set_column(lane, &col);
+                }
+                let mut out = Panel::zeros(n, lanes);
+                a.mul_panel_into(&x, &mut out).unwrap();
+                for lane in 0..lanes {
+                    let v = Vector::from_slice(&x.column(lane));
+                    let expect = a.mul_vector(&v).unwrap();
+                    for i in 0..n {
+                        assert!(
+                            (out.get(i, lane) - expect[i]).abs() < 1e-12,
+                            "n={n} lanes={lanes} lane={lane} row={i}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mul_panel_lane_results_do_not_depend_on_neighbours() {
+        // A lane's result must be bit-identical whether it sits in a full
+        // chunk of 8 or in the scalar remainder.
+        let n = 8;
+        let a = test_matrix(n, 0.4);
+        let col: Vec<f64> = (0..n).map(|i| 40.0 + i as f64 * 1.3).collect();
+        let mut wide = Panel::zeros(n, 11);
+        for lane in 0..11 {
+            wide.set_column(lane, &col);
+        }
+        let mut out_wide = Panel::zeros(n, 11);
+        a.mul_panel_into(&wide, &mut out_wide).unwrap();
+        let mut narrow = Panel::zeros(n, 1);
+        narrow.set_column(0, &col);
+        let mut out_narrow = Panel::zeros(n, 1);
+        a.mul_panel_into(&narrow, &mut out_narrow).unwrap();
+        for lane in 0..11 {
+            for i in 0..n {
+                assert_eq!(
+                    out_wide.get(i, lane).to_bits(),
+                    out_narrow.get(i, 0).to_bits(),
+                    "lane {lane} row {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn affine_pair_matches_scalar_reference() {
+        for lanes in [1, 5, 8, 13] {
+            let n = 8;
+            let a = test_matrix(n, 0.2);
+            let b = test_matrix(n, 0.05);
+            let bias: Vec<f64> = (0..n).map(|i| 0.01 * i as f64).collect();
+            let mut x = Panel::zeros(n, lanes);
+            let mut y = Panel::zeros(n, lanes);
+            for lane in 0..lanes {
+                for i in 0..n {
+                    x.set(i, lane, 50.0 + (lane + i) as f64 * 0.37);
+                    y.set(i, lane, 0.5 + (lane * i) as f64 * 0.011);
+                }
+            }
+            let mut out = Panel::zeros(n, lanes);
+            affine_pair_apply(&a, &b, &bias, &x, &y, &mut out).unwrap();
+            for lane in 0..lanes {
+                for i in 0..n {
+                    let mut acc = bias[i];
+                    for j in 0..n {
+                        acc += a[(i, j)] * x.get(j, lane);
+                        acc += b[(i, j)] * y.get(j, lane);
+                    }
+                    assert!(
+                        (out.get(i, lane) - acc).abs() < 1e-10,
+                        "lanes={lanes} lane={lane} row={i}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn kernels_reject_mismatched_shapes() {
+        let a = Matrix::zeros(3, 3);
+        let x = Panel::zeros(4, 2);
+        let mut out = Panel::zeros(3, 2);
+        assert!(a.mul_panel_into(&x, &mut out).is_err());
+        let x = Panel::zeros(3, 2);
+        let mut bad_out = Panel::zeros(3, 4);
+        assert!(a.mul_panel_into(&x, &mut bad_out).is_err());
+
+        let b = Matrix::zeros(3, 2);
+        let y = Panel::zeros(3, 2);
+        assert!(affine_pair_apply(&a, &b, &[0.0; 3], &x, &y, &mut out).is_err());
+        let b = Matrix::zeros(3, 3);
+        assert!(affine_pair_apply(&a, &b, &[0.0; 2], &x, &y, &mut out).is_err());
+        let y_bad = Panel::zeros(3, 3);
+        assert!(affine_pair_apply(&a, &b, &[0.0; 3], &x, &y_bad, &mut out).is_err());
+    }
+}

@@ -103,6 +103,221 @@ pub fn currents_batch<const N: usize>(models: [&LeakageModel; N], temps_c: [f64;
     out
 }
 
+/// Structure-of-arrays leakage evaluation for many scenarios at once: one
+/// (domain, lane) leakage model per panel cell, evaluated row by row with
+/// unit-stride inner loops.
+///
+/// This is the panel variant of [`currents_batch`] used by the batched plant
+/// engine. The expensive part of the leakage equation is `e^(c2/T)`; the
+/// panel replaces the per-call `libm` exponential with an *anchored* form
+///
+/// ```text
+/// e^a = e^a0 · e^(a − a0)
+/// ```
+///
+/// where the anchor `e^a0` is computed exactly (via `f64::exp`) every
+/// [`LeakagePanel::REANCHOR_STEPS`] micro-steps and the drift factor
+/// `e^(a − a0)` by a degree-7 polynomial. Node temperatures move by at most a
+/// few hundredths of a kelvin per micro-step, so `|a − a0|` stays below ~0.05
+/// between re-anchors and the polynomial is accurate to < 1 ulp (≈ 2e-16
+/// relative); the batched currents therefore agree with
+/// [`LeakageModel::current_a`] to floating-point rounding, not bit-exactly.
+///
+/// The branch-free inner loops (divide, polynomial, fused add) vectorise
+/// across lanes, which is where the batched engine's leakage speedup over
+/// one `libm` exponential per scenario comes from.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LeakagePanel {
+    rows: usize,
+    lanes: usize,
+    c1: Vec<f64>,
+    c2: Vec<f64>,
+    igate: Vec<f64>,
+    /// Anchor argument `a0 = c2 / T_anchor` per cell.
+    a0: Vec<f64>,
+    /// Anchor exponential `e^(a0)` per cell.
+    e0: Vec<f64>,
+}
+
+impl LeakagePanel {
+    /// How many micro-steps an anchor stays valid before
+    /// [`LeakagePanel::anchor`] must refresh it. At the plant's worst-case
+    /// drift (~0.06 K per 10 ms micro-step) the exponent moves ~2e-3 per
+    /// step, so 16 steps keep `|a − a0| < 0.05` with a wide margin.
+    pub const REANCHOR_STEPS: usize = 16;
+
+    /// Creates a `rows × lanes` panel with every cell set to `model`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` or `lanes` is zero.
+    pub fn filled(rows: usize, lanes: usize, model: &LeakageModel) -> Self {
+        assert!(rows > 0 && lanes > 0, "panel dimensions must be non-zero");
+        let n = rows * lanes;
+        LeakagePanel {
+            rows,
+            lanes,
+            c1: vec![model.params.c1; n],
+            c2: vec![model.params.c2; n],
+            igate: vec![model.params.igate_a; n],
+            // Anchors start invalid (NaN): rows must be anchored before the
+            // first currents evaluation.
+            a0: vec![f64::NAN; n],
+            e0: vec![f64::NAN; n],
+        }
+    }
+
+    /// Number of domain rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of scenario lanes.
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Sets the leakage model of cell `(row, lane)`. Any existing anchor for
+    /// the cell is invalidated (set to NaN): the caller must re-anchor the
+    /// row before evaluating currents, otherwise the stale anchor of the old
+    /// model would silently skew the drift polynomial — with NaN the misuse
+    /// is loud instead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` or `lane` is out of bounds.
+    pub fn set_model(&mut self, row: usize, lane: usize, model: &LeakageModel) {
+        assert!(
+            row < self.rows && lane < self.lanes,
+            "panel index out of bounds"
+        );
+        let k = row * self.lanes + lane;
+        self.c1[k] = model.params.c1;
+        self.c2[k] = model.params.c2;
+        self.igate[k] = model.params.igate_a;
+        self.a0[k] = f64::NAN;
+        self.e0[k] = f64::NAN;
+    }
+
+    /// Re-anchors row `row` at the given temperatures (°C, one per lane)
+    /// using the exact `libm` exponential.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of bounds or `temps_c.len() != self.lanes()`.
+    pub fn anchor_row(&mut self, row: usize, temps_c: &[f64]) {
+        assert!(row < self.rows, "panel row out of bounds");
+        assert_eq!(temps_c.len(), self.lanes, "anchor temperature row length");
+        let lanes = self.lanes;
+        let c2 = &self.c2[row * lanes..(row + 1) * lanes];
+        let a0 = &mut self.a0[row * lanes..(row + 1) * lanes];
+        let e0 = &mut self.e0[row * lanes..(row + 1) * lanes];
+        for k in 0..lanes {
+            let a = c2[k] / celsius_to_kelvin(temps_c[k]);
+            a0[k] = a;
+            e0[k] = a.exp();
+        }
+    }
+
+    /// Re-anchors the whole panel at once; `temps_c` covers every cell in
+    /// row-major order (`rows × lanes`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `temps_c` does not cover every cell.
+    pub fn anchor_all(&mut self, temps_c: &[f64]) {
+        assert_eq!(temps_c.len(), self.rows * self.lanes, "anchor panel size");
+        for (k, &t) in temps_c.iter().enumerate() {
+            let a = self.c2[k] / celsius_to_kelvin(t);
+            self.a0[k] = a;
+            self.e0[k] = a.exp();
+        }
+    }
+
+    /// Evaluates row `row`'s leakage currents at the given temperatures
+    /// (°C, one per lane) into `out`, using the anchored exponential.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of bounds or the slices do not cover every
+    /// lane. The caller must have anchored the row (within
+    /// [`LeakagePanel::REANCHOR_STEPS`] micro-steps) first.
+    #[inline]
+    pub fn currents_row_into(&self, row: usize, temps_c: &[f64], out: &mut [f64]) {
+        assert!(row < self.rows, "panel row out of bounds");
+        assert_eq!(temps_c.len(), self.lanes, "temperature row length");
+        assert_eq!(out.len(), self.lanes, "output row length");
+        let lanes = self.lanes;
+        let offset = row * lanes;
+        currents_span(
+            &self.c1[offset..offset + lanes],
+            &self.c2[offset..offset + lanes],
+            &self.igate[offset..offset + lanes],
+            &self.a0[offset..offset + lanes],
+            &self.e0[offset..offset + lanes],
+            temps_c,
+            out,
+        );
+    }
+
+    /// Evaluates the whole panel's leakage currents in one unit-stride pass:
+    /// `temps_c` and `out` cover every cell in row-major order
+    /// (`rows × lanes`). This is the batch engine's per-micro-step call — one
+    /// long vectorisable loop instead of one short loop per domain row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices do not cover every cell.
+    #[inline]
+    pub fn currents_into(&self, temps_c: &[f64], out: &mut [f64]) {
+        let cells = self.rows * self.lanes;
+        assert_eq!(temps_c.len(), cells, "temperature panel size");
+        assert_eq!(out.len(), cells, "output panel size");
+        currents_span(
+            &self.c1,
+            &self.c2,
+            &self.igate,
+            &self.a0,
+            &self.e0,
+            temps_c,
+            out,
+        );
+    }
+}
+
+/// The anchored leakage-current evaluation over one contiguous span (see
+/// [`LeakagePanel`]); all slices have equal length.
+#[inline(always)]
+fn currents_span(
+    c1: &[f64],
+    c2: &[f64],
+    igate: &[f64],
+    a0: &[f64],
+    e0: &[f64],
+    temps_c: &[f64],
+    out: &mut [f64],
+) {
+    for (k, slot) in out.iter_mut().enumerate() {
+        let t = celsius_to_kelvin(temps_c[k]);
+        let delta = c2[k] / t - a0[k];
+        *slot = c1[k] * t * t * (e0[k] * exp_delta(delta)) + igate[k];
+    }
+}
+
+/// `e^d` for a small drift `|d| ≲ 0.05` via a degree-7 polynomial (Estrin
+/// form for instruction-level parallelism). The truncation error at
+/// `|d| = 0.05` is `0.05^8/8! ≈ 1e-15` relative — below one ulp of the full
+/// leakage expression.
+#[inline(always)]
+fn exp_delta(d: f64) -> f64 {
+    let d2 = d * d;
+    let p01 = 1.0 + d;
+    let p23 = 0.5 + d * (1.0 / 6.0);
+    let p45 = (1.0 / 24.0) + d * (1.0 / 120.0);
+    let p67 = (1.0 / 720.0) + d * (1.0 / 5040.0);
+    (p01 + d2 * p23) + d2 * d2 * (p45 + d2 * p67)
+}
+
 /// Temperature-dependent leakage model for one power domain.
 ///
 /// # Example
@@ -255,6 +470,69 @@ mod tests {
         for k in 0..4 {
             assert_eq!(batched[k], model.current_a(temps[k]), "lane {k}");
         }
+    }
+
+    #[test]
+    fn leakage_panel_matches_scalar_at_anchor() {
+        // At the anchor temperature the polynomial drift factor is exactly 1,
+        // so the panel reproduces `current_a` bit for bit.
+        let big = LeakageModel::exynos5410_big();
+        let gpu = LeakageModel::exynos5410_gpu();
+        let mut panel = LeakagePanel::filled(2, 3, &big);
+        for lane in 0..3 {
+            panel.set_model(1, lane, &gpu);
+        }
+        let temps = [41.5, 63.25, 80.0];
+        let mut out = [0.0; 3];
+        panel.anchor_row(0, &temps);
+        panel.anchor_row(1, &temps);
+        panel.currents_row_into(0, &temps, &mut out);
+        for (k, &t) in temps.iter().enumerate() {
+            assert_eq!(out[k], big.current_a(t), "big lane {k}");
+        }
+        panel.currents_row_into(1, &temps, &mut out);
+        for (k, &t) in temps.iter().enumerate() {
+            assert_eq!(out[k], gpu.current_a(t), "gpu lane {k}");
+        }
+    }
+
+    #[test]
+    fn leakage_panel_tracks_scalar_through_drift() {
+        // Between re-anchors the temperatures drift; the anchored polynomial
+        // must stay within floating-point rounding of the scalar model over
+        // the documented drift budget.
+        let model = LeakageModel::exynos5410_big();
+        let mut panel = LeakagePanel::filled(1, 4, &model);
+        let anchor = [45.0, 55.0, 70.0, 85.0];
+        panel.anchor_row(0, &anchor);
+        let mut out = [0.0; 4];
+        for step in 0..=LeakagePanel::REANCHOR_STEPS {
+            // Worst-case plant drift: ~0.06 K per micro-step.
+            let temps: [f64; 4] = std::array::from_fn(|k| anchor[k] + 0.06 * step as f64);
+            panel.currents_row_into(0, &temps, &mut out);
+            for (k, &t) in temps.iter().enumerate() {
+                let exact = model.current_a(t);
+                let rel = ((out[k] - exact) / exact).abs();
+                assert!(
+                    rel < 5e-15,
+                    "step {step} lane {k}: rel error {rel:.3e} ({} vs {exact})",
+                    out[k]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn leakage_panel_validates_indices() {
+        let model = LeakageModel::exynos5410_big();
+        let panel = LeakagePanel::filled(2, 2, &model);
+        assert_eq!(panel.rows(), 2);
+        assert_eq!(panel.lanes(), 2);
+        let result = std::panic::catch_unwind(|| {
+            let mut out = [0.0; 2];
+            panel.currents_row_into(5, &[40.0, 40.0], &mut out);
+        });
+        assert!(result.is_err(), "out-of-bounds row must panic");
     }
 
     #[test]

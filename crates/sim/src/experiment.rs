@@ -22,7 +22,7 @@ use soc_model::{ClusterKind, FanLevel, Frequency, PlatformState, PowerDomain, So
 use workload::{BenchmarkId, Demand, WorkloadState};
 
 use crate::calibrate::Calibration;
-use crate::plant::{PhysicalPlant, PlantPowerParams};
+use crate::plant::{PhysicalPlant, PlantPowerParams, PlantStep};
 use crate::sensors::{SensorReadings, SensorSuite};
 use crate::trace::{Trace, TraceRecord};
 use crate::SimError;
@@ -132,12 +132,18 @@ pub struct SimulationResult {
     pub energy_j: f64,
 }
 
-/// The closed-loop simulation of one benchmark run.
+/// Everything in the closed loop except the physical plant: sensors,
+/// workload, governors, the configured thermal-management policy, and the
+/// running trace/energy bookkeeping.
+///
+/// Splitting the controller side out of [`Experiment`] is what lets the
+/// lockstep runner ([`run_lockstep`]) drive K control loops against one
+/// [`BatchPlant`]: control decisions stay strictly per-lane while the plant
+/// integration is batched.
 #[derive(Debug)]
-pub struct Experiment {
+struct ControlLoop {
     config: ExperimentConfig,
     spec: SocSpec,
-    plant: PhysicalPlant,
     sensors: SensorSuite,
     workload: WorkloadState,
     governor: OndemandGovernor,
@@ -147,16 +153,27 @@ pub struct Experiment {
     dtpm_policy: Option<DtpmPolicy>,
     power_model: PowerModel,
     state: PlatformState,
+    readings: SensorReadings,
+    trace: Trace,
+    time_s: f64,
+    energy_j: f64,
+    completed: bool,
+    max_steps: usize,
+    steps_taken: usize,
 }
 
-impl Experiment {
-    /// Builds an experiment from its configuration and the characterised
-    /// models (power model + identified thermal predictor).
-    ///
-    /// # Errors
-    ///
-    /// Returns [`SimError::InvalidConfig`] for non-physical timing parameters.
-    pub fn new(config: ExperimentConfig, calibration: &Calibration) -> Result<Self, SimError> {
+/// One control interval's decisions, handed from [`ControlLoop::decide`] to
+/// the plant step and back into [`ControlLoop::absorb`].
+#[derive(Debug, Clone)]
+struct IntervalDecision {
+    demand: Demand,
+    fan_level: FanLevel,
+    predicted_peak_c: Option<f64>,
+    intervened: bool,
+}
+
+impl ControlLoop {
+    fn new(config: &ExperimentConfig, calibration: &Calibration) -> Result<Self, SimError> {
         if !(config.control_period_s > 0.0) {
             return Err(SimError::InvalidConfig("control period must be positive"));
         }
@@ -166,8 +183,7 @@ impl Experiment {
             ));
         }
         let spec = SocSpec::odroid_xu_e().with_ambient_c(config.ambient_c);
-        let plant = PhysicalPlant::new(spec.clone(), config.plant);
-        let sensors = if config.ideal_sensors {
+        let mut sensors = if config.ideal_sensors {
             SensorSuite::ideal(config.seed)
         } else {
             SensorSuite::odroid_defaults(config.seed)
@@ -187,10 +203,17 @@ impl Experiment {
             _ => None,
         };
         let state = PlatformState::default_for(&spec);
-        Ok(Experiment {
-            config,
+        let max_steps = (config.max_duration_s / config.control_period_s).ceil() as usize;
+        // Bootstrap sensor readings from the initial plant state (every node
+        // starts at the configured initial temperature).
+        let readings = sensors.sample(
+            [config.plant.initial_temp_c; 4],
+            &power_model::DomainPower::default(),
+            config.plant.board_base_w,
+        );
+        Ok(ControlLoop {
+            config: config.clone(),
             spec,
-            plant,
             sensors,
             workload,
             governor: OndemandGovernor::default(),
@@ -200,7 +223,19 @@ impl Experiment {
             dtpm_policy,
             power_model: calibration.power_model.clone(),
             state,
+            readings,
+            trace: Trace::new(),
+            time_s: 0.0,
+            energy_j: 0.0,
+            completed: false,
+            max_steps,
+            steps_taken: 0,
         })
+    }
+
+    /// Whether the run is over (benchmark complete or duration cap reached).
+    fn is_done(&self) -> bool {
+        self.completed || self.steps_taken >= self.max_steps
     }
 
     /// The default (stock governor) proposal for the next interval: the big
@@ -249,142 +284,177 @@ impl Experiment {
         proposal
     }
 
+    /// Makes this interval's control decisions from the latest sensor
+    /// readings: workload demand, governor proposal, the configured thermal
+    /// management, and the fan. Updates `self.state` to the decided platform
+    /// state.
+    ///
+    /// # Errors
+    ///
+    /// Propagates platform and DTPM errors.
+    fn decide(&mut self) -> Result<IntervalDecision, SimError> {
+        let demand = self.workload.demand();
+        let proposal = self.default_proposal(&demand);
+
+        // Configuration-specific thermal management.
+        let mut predicted_peak_c = None;
+        let mut intervened = false;
+        let next_state = match self.config.kind {
+            ExperimentKind::DefaultWithFan | ExperimentKind::WithoutFan => proposal,
+            ExperimentKind::Reactive => {
+                let mut state = proposal;
+                let throttled = self.reactive.apply(
+                    self.readings.max_core_temp_c(),
+                    state.big_frequency,
+                    self.spec.big_opps(),
+                );
+                intervened = throttled != state.big_frequency;
+                state.big_frequency = throttled;
+                state
+            }
+            ExperimentKind::Dtpm => {
+                // Feed the run-time power model with the latest sensor data
+                // (Figure 4.4) before making the decision.
+                let active = self.state.active_cluster;
+                let active_freq = self.state.cluster_frequency(active);
+                let active_volts = self.spec.cluster_opps(active).voltage_for(active_freq)?;
+                self.power_model.observe(
+                    PowerDomain::from_cluster(active),
+                    self.readings.domain_power[PowerDomain::from_cluster(active)],
+                    self.readings.max_core_temp_c(),
+                    active_volts,
+                    active_freq,
+                );
+                let gpu_volts = self.spec.gpu_opps().voltage_for(self.state.gpu_frequency)?;
+                self.power_model.observe(
+                    PowerDomain::Gpu,
+                    self.readings.domain_power[PowerDomain::Gpu],
+                    self.readings.max_core_temp_c(),
+                    gpu_volts,
+                    self.state.gpu_frequency,
+                );
+
+                let policy = self
+                    .dtpm_policy
+                    .as_mut()
+                    .expect("DTPM configuration always constructs a policy");
+                let decision = policy.decide(
+                    &DtpmInputs {
+                        spec: &self.spec,
+                        proposed: proposal,
+                        core_temps_c: self.readings.core_temps_c,
+                        measured_power: self.readings.domain_power,
+                    },
+                    &self.power_model,
+                )?;
+                predicted_peak_c = Some(decision.predicted_peak_c);
+                intervened = decision.action != dtpm::DtpmAction::Affirmed;
+                decision.state
+            }
+        };
+
+        // Fan control (only meaningful in the default configuration).
+        let fan_level: FanLevel = self.fan.update(self.readings.max_core_temp_c());
+        self.state = next_state;
+        self.state.fan_level = fan_level;
+
+        Ok(IntervalDecision {
+            demand,
+            fan_level,
+            predicted_peak_c,
+            intervened,
+        })
+    }
+
+    /// Folds one plant interval back into the loop: workload progress, energy
+    /// accounting, the next interval's sensor readings and the trace record.
+    fn absorb(&mut self, decision: &IntervalDecision, step: &PlantStep) {
+        let control_period = self.config.control_period_s;
+        self.workload.advance(step.work_done);
+        self.time_s += control_period;
+        self.energy_j += step.platform_power_w * control_period;
+
+        // Sample the sensors for the next interval's decisions.
+        self.readings =
+            self.sensors
+                .sample(step.core_temps_c, &step.domain_power, step.platform_power_w);
+
+        self.trace.push(TraceRecord {
+            time_s: self.time_s,
+            core_temps_c: self.readings.core_temps_c,
+            active_cluster: self.state.active_cluster,
+            frequency_mhz: self.state.active_frequency().mhz(),
+            online_cores: self.state.active_online_core_count(),
+            gpu_frequency_mhz: self.state.gpu_frequency.mhz(),
+            fan_level: decision.fan_level,
+            domain_power: self.readings.domain_power,
+            platform_power_w: self.readings.platform_power_w,
+            progress: self.workload.progress(),
+            predicted_peak_c: decision.predicted_peak_c,
+            dtpm_intervened: decision.intervened,
+        });
+
+        self.steps_taken += 1;
+        if self.workload.is_complete() {
+            self.completed = true;
+        }
+    }
+
+    /// Consumes the loop and produces the final result.
+    fn finish(self) -> SimulationResult {
+        let mean_platform_power_w = self.trace.mean_platform_power_w();
+        SimulationResult {
+            config: self.config,
+            trace: self.trace,
+            execution_time_s: self.time_s,
+            completed: self.completed,
+            mean_platform_power_w,
+            energy_j: self.energy_j,
+        }
+    }
+}
+
+/// The closed-loop simulation of one benchmark run: a [`ControlLoop`] wired
+/// to its own scalar [`PhysicalPlant`].
+#[derive(Debug)]
+pub struct Experiment {
+    control: ControlLoop,
+    plant: PhysicalPlant,
+}
+
+impl Experiment {
+    /// Builds an experiment from its configuration and the characterised
+    /// models (power model + identified thermal predictor). The configuration
+    /// is borrowed; the one owned copy lives in the eventual
+    /// [`SimulationResult`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] for non-physical timing parameters.
+    pub fn new(config: &ExperimentConfig, calibration: &Calibration) -> Result<Self, SimError> {
+        let control = ControlLoop::new(config, calibration)?;
+        let plant = PhysicalPlant::new(control.spec.clone(), config.plant);
+        Ok(Experiment { control, plant })
+    }
+
     /// Runs the experiment to completion and returns the result.
     ///
     /// # Errors
     ///
     /// Propagates plant, platform and DTPM errors.
     pub fn run(mut self) -> Result<SimulationResult, SimError> {
-        let control_period = self.config.control_period_s;
-        let max_steps = (self.config.max_duration_s / control_period).ceil() as usize;
-        let mut trace = Trace::new();
-        let mut time_s = 0.0;
-        let mut energy_j = 0.0;
-        let mut completed = false;
-
-        // Bootstrap sensor readings from the initial plant state.
-        let mut readings: SensorReadings = {
-            let temps = self.plant.core_temps_c();
-            self.sensors.sample(
-                temps,
-                &power_model::DomainPower::default(),
-                self.config.plant.board_base_w,
-            )
-        };
-
-        for _ in 0..max_steps {
-            let demand = self.workload.demand();
-            let proposal = self.default_proposal(&demand);
-
-            // Configuration-specific thermal management.
-            let mut predicted_peak_c = None;
-            let mut intervened = false;
-            let next_state = match self.config.kind {
-                ExperimentKind::DefaultWithFan | ExperimentKind::WithoutFan => proposal,
-                ExperimentKind::Reactive => {
-                    let mut state = proposal;
-                    let throttled = self.reactive.apply(
-                        readings.max_core_temp_c(),
-                        state.big_frequency,
-                        self.spec.big_opps(),
-                    );
-                    intervened = throttled != state.big_frequency;
-                    state.big_frequency = throttled;
-                    state
-                }
-                ExperimentKind::Dtpm => {
-                    // Feed the run-time power model with the latest sensor data
-                    // (Figure 4.4) before making the decision.
-                    let active = self.state.active_cluster;
-                    let active_freq = self.state.cluster_frequency(active);
-                    let active_volts = self.spec.cluster_opps(active).voltage_for(active_freq)?;
-                    self.power_model.observe(
-                        PowerDomain::from_cluster(active),
-                        readings.domain_power[PowerDomain::from_cluster(active)],
-                        readings.max_core_temp_c(),
-                        active_volts,
-                        active_freq,
-                    );
-                    let gpu_volts = self.spec.gpu_opps().voltage_for(self.state.gpu_frequency)?;
-                    self.power_model.observe(
-                        PowerDomain::Gpu,
-                        readings.domain_power[PowerDomain::Gpu],
-                        readings.max_core_temp_c(),
-                        gpu_volts,
-                        self.state.gpu_frequency,
-                    );
-
-                    let policy = self
-                        .dtpm_policy
-                        .as_mut()
-                        .expect("DTPM configuration always constructs a policy");
-                    let decision = policy.decide(
-                        &DtpmInputs {
-                            spec: &self.spec,
-                            proposed: proposal,
-                            core_temps_c: readings.core_temps_c,
-                            measured_power: readings.domain_power,
-                        },
-                        &self.power_model,
-                    )?;
-                    predicted_peak_c = Some(decision.predicted_peak_c);
-                    intervened = decision.action != dtpm::DtpmAction::Affirmed;
-                    decision.state
-                }
-            };
-
-            // Fan control (only meaningful in the default configuration).
-            let fan_level: FanLevel = self.fan.update(readings.max_core_temp_c());
-            self.state = next_state;
-            self.state.fan_level = fan_level;
-
-            // Advance the physical plant over the interval.
+        while !self.control.is_done() {
+            let decision = self.control.decide()?;
             let step = self.plant.step_interval(
-                &self.state,
-                &demand,
-                fan_level,
-                self.config.ambient_c,
-                control_period,
+                &self.control.state,
+                &decision.demand,
+                decision.fan_level,
+                self.control.config.ambient_c,
+                self.control.config.control_period_s,
             )?;
-            self.workload.advance(step.work_done);
-            time_s += control_period;
-            energy_j += step.platform_power_w * control_period;
-
-            // Sample the sensors for the next interval's decisions.
-            readings =
-                self.sensors
-                    .sample(step.core_temps_c, &step.domain_power, step.platform_power_w);
-
-            trace.push(TraceRecord {
-                time_s,
-                core_temps_c: readings.core_temps_c,
-                active_cluster: self.state.active_cluster,
-                frequency_mhz: self.state.active_frequency().mhz(),
-                online_cores: self.state.active_online_core_count(),
-                gpu_frequency_mhz: self.state.gpu_frequency.mhz(),
-                fan_level,
-                domain_power: readings.domain_power,
-                platform_power_w: readings.platform_power_w,
-                progress: self.workload.progress(),
-                predicted_peak_c,
-                dtpm_intervened: intervened,
-            });
-
-            if self.workload.is_complete() {
-                completed = true;
-                break;
-            }
+            self.control.absorb(&decision, &step);
         }
-
-        let mean_platform_power_w = trace.mean_platform_power_w();
-        Ok(SimulationResult {
-            config: self.config,
-            trace,
-            execution_time_s: time_s,
-            completed,
-            mean_platform_power_w,
-            energy_j,
-        })
+        Ok(self.control.finish())
     }
 }
 
@@ -419,11 +489,13 @@ impl Experiment {
 pub struct ScenarioSweep {
     configs: Vec<ExperimentConfig>,
     threads: usize,
+    lanes: usize,
 }
 
 impl ScenarioSweep {
     /// Creates a sweep over the given configurations using one worker per
-    /// available CPU (capped at the number of configurations).
+    /// available CPU (capped at the number of configurations) and scalar
+    /// (one-lane) execution.
     pub fn new(configs: Vec<ExperimentConfig>) -> Self {
         let parallelism = std::thread::available_parallelism()
             .map(std::num::NonZeroUsize::get)
@@ -431,12 +503,23 @@ impl ScenarioSweep {
         ScenarioSweep {
             threads: parallelism.min(configs.len()).max(1),
             configs,
+            lanes: 1,
         }
     }
 
     /// Overrides the worker-thread count (clamped to at least one).
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
+        self
+    }
+
+    /// Sets the batch width: consecutive configurations are tiled into
+    /// lane-groups of this size and each group runs through the
+    /// structure-of-arrays [`crate::batch::BatchPlant`] in lockstep (see
+    /// [`run_lockstep`]), so total parallelism is `threads × lanes`. One lane
+    /// (the default) is the scalar per-scenario engine.
+    pub fn with_lanes(mut self, lanes: usize) -> Self {
+        self.lanes = lanes.max(1);
         self
     }
 
@@ -450,42 +533,67 @@ impl ScenarioSweep {
         self.threads
     }
 
+    /// The batch width (scenarios advanced per instruction stream).
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
     /// Runs every configuration and returns one result per configuration, in
     /// input order. Individual failures do not abort the sweep.
+    ///
+    /// Work is handed out as tiles of [`ScenarioSweep::lanes`] consecutive
+    /// configurations; each worker claims tiles from an atomic queue and
+    /// publishes results through per-slot [`std::sync::OnceLock`]s, so result
+    /// storage never serialises workers.
     pub fn run(&self, calibration: &Calibration) -> Vec<Result<SimulationResult, SimError>> {
-        let mut results: Vec<Option<Result<SimulationResult, SimError>>> =
-            (0..self.configs.len()).map(|_| None).collect();
-        if self.configs.is_empty() {
+        let count = self.configs.len();
+        if count == 0 {
             return Vec::new();
         }
+        let tile = self.lanes;
+        let tiles = count.div_ceil(tile);
+        let slots: Vec<std::sync::OnceLock<Result<SimulationResult, SimError>>> =
+            (0..count).map(|_| std::sync::OnceLock::new()).collect();
+
+        let run_tile = |index: usize| {
+            let start = index * tile;
+            let end = (start + tile).min(count);
+            let tile_configs = &self.configs[start..end];
+            let results = if tile_configs.len() == 1 {
+                vec![run_one(&tile_configs[0], calibration)]
+            } else {
+                run_lockstep(tile_configs, calibration)
+            };
+            for (offset, result) in results.into_iter().enumerate() {
+                assert!(
+                    slots[start + offset].set(result).is_ok(),
+                    "every sweep slot is written exactly once"
+                );
+            }
+        };
 
         if self.threads == 1 {
-            for (config, slot) in self.configs.iter().zip(results.iter_mut()) {
-                *slot = Some(run_one(config, calibration));
+            for index in 0..tiles {
+                run_tile(index);
             }
         } else {
             let next = std::sync::atomic::AtomicUsize::new(0);
-            let results_mutex = std::sync::Mutex::new(&mut results);
             std::thread::scope(|scope| {
-                for _ in 0..self.threads {
+                for _ in 0..self.threads.min(tiles) {
                     scope.spawn(|| loop {
                         let index = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                        let Some(config) = self.configs.get(index) else {
+                        if index >= tiles {
                             break;
-                        };
-                        let result = run_one(config, calibration);
-                        results_mutex
-                            .lock()
-                            .expect("a sweep worker panicked while storing a result")[index] =
-                            Some(result);
+                        }
+                        run_tile(index);
                     });
                 }
             });
         }
 
-        results
+        slots
             .into_iter()
-            .map(|slot| slot.expect("every sweep slot is filled"))
+            .map(|slot| slot.into_inner().expect("every sweep slot is filled"))
             .collect()
     }
 }
@@ -494,5 +602,168 @@ fn run_one(
     config: &ExperimentConfig,
     calibration: &Calibration,
 ) -> Result<SimulationResult, SimError> {
-    Experiment::new(config.clone(), calibration)?.run()
+    Experiment::new(config, calibration)?.run()
+}
+
+/// One lane's bookkeeping inside [`run_lockstep`].
+struct LockstepLane {
+    /// Index into the caller's configuration (and result) order.
+    slot: usize,
+    /// `None` once the lane has finished (or failed) and reported.
+    control: Option<ControlLoop>,
+    /// This interval's decision, between decide and absorb.
+    decision: Option<IntervalDecision>,
+    /// The most recent plant inputs, replayed once the lane is done so the
+    /// batch can keep stepping the remaining lanes (results of a finished
+    /// lane are already captured; its plant state just keeps evolving).
+    frozen: (PlatformState, Demand, FanLevel, f64),
+}
+
+/// Runs the given configurations in lockstep on one [`BatchPlant`]: each
+/// scenario keeps its own control loop (sensors, governors, policy, trace —
+/// decisions stay strictly per-lane) while the plant integration advances all
+/// lanes per instruction stream, one scenario per panel column.
+///
+/// Results come back in input order; individual failures do not abort the
+/// batch. Scenarios finishing early stay in the batch as frozen lanes until
+/// the slowest lane completes, so a tile of similar-length scenarios batches
+/// best. All configurations must share one `control_period_s`; mixed periods
+/// cannot step in lockstep and fall back to scalar per-scenario runs.
+pub fn run_lockstep(
+    configs: &[ExperimentConfig],
+    calibration: &Calibration,
+) -> Vec<Result<SimulationResult, SimError>> {
+    if configs.is_empty() {
+        return Vec::new();
+    }
+    let period = configs[0].control_period_s;
+    if configs
+        .iter()
+        .any(|config| config.control_period_s != period)
+    {
+        return configs
+            .iter()
+            .map(|config| run_one(config, calibration))
+            .collect();
+    }
+
+    let mut slots: Vec<Option<Result<SimulationResult, SimError>>> =
+        (0..configs.len()).map(|_| None).collect();
+    let spec = SocSpec::odroid_xu_e();
+    let mut lanes: Vec<LockstepLane> = Vec::new();
+    let mut lane_params = Vec::new();
+    for (slot, config) in configs.iter().enumerate() {
+        match ControlLoop::new(config, calibration) {
+            Ok(control) => {
+                lanes.push(LockstepLane {
+                    slot,
+                    control: Some(control),
+                    decision: None,
+                    frozen: (
+                        PlatformState::default_for(&spec),
+                        Demand::idle(),
+                        FanLevel::Off,
+                        config.ambient_c,
+                    ),
+                });
+                lane_params.push(config.plant);
+            }
+            Err(e) => slots[slot] = Some(Err(e)),
+        }
+    }
+
+    if !lanes.is_empty() {
+        let mut plant = crate::batch::BatchPlant::new(spec, &lane_params);
+        loop {
+            // Decide per still-running lane (finish lanes that are done).
+            let mut any_active = false;
+            for lane in &mut lanes {
+                let Some(control) = lane.control.as_mut() else {
+                    continue;
+                };
+                if control.is_done() {
+                    let control = lane.control.take().expect("control is present");
+                    slots[lane.slot] = Some(Ok(control.finish()));
+                    continue;
+                }
+                match control.decide() {
+                    Ok(decision) => {
+                        lane.frozen = (
+                            control.state.clone(),
+                            decision.demand,
+                            decision.fan_level,
+                            control.config.ambient_c,
+                        );
+                        lane.decision = Some(decision);
+                        any_active = true;
+                    }
+                    Err(e) => {
+                        slots[lane.slot] = Some(Err(e));
+                        lane.control = None;
+                    }
+                }
+            }
+            if !any_active {
+                break;
+            }
+
+            // Advance every plant lane one interval (frozen inputs for lanes
+            // that already reported).
+            let inputs: Vec<crate::batch::BatchLaneInput<'_>> = lanes
+                .iter()
+                .map(|lane| match (&lane.control, &lane.decision) {
+                    (Some(control), Some(decision)) => crate::batch::BatchLaneInput {
+                        state: &control.state,
+                        demand: &decision.demand,
+                        fan_level: decision.fan_level,
+                        ambient_c: control.config.ambient_c,
+                    },
+                    _ => crate::batch::BatchLaneInput {
+                        state: &lane.frozen.0,
+                        demand: &lane.frozen.1,
+                        fan_level: lane.frozen.2,
+                        ambient_c: lane.frozen.3,
+                    },
+                })
+                .collect();
+            let steps = match plant.step_interval(&inputs, period) {
+                Ok(steps) => steps,
+                Err(e) => {
+                    // A batch-level error (malformed call) cannot be
+                    // attributed to one lane; report it on all unfinished
+                    // lanes and stop.
+                    drop(inputs);
+                    for lane in &mut lanes {
+                        if lane.control.take().is_some() {
+                            slots[lane.slot] = Some(Err(e.clone()));
+                        }
+                    }
+                    break;
+                }
+            };
+            drop(inputs);
+
+            // Absorb per lane.
+            for (lane, step) in lanes.iter_mut().zip(steps) {
+                let Some(control) = lane.control.as_mut() else {
+                    continue;
+                };
+                let Some(decision) = lane.decision.take() else {
+                    continue;
+                };
+                match step {
+                    Ok(step) => control.absorb(&decision, &step),
+                    Err(e) => {
+                        slots[lane.slot] = Some(Err(e));
+                        lane.control = None;
+                    }
+                }
+            }
+        }
+    }
+
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("every lockstep slot is filled"))
+        .collect()
 }

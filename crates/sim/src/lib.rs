@@ -32,7 +32,11 @@
 //!   power/performance/stability summaries the figures are built from.
 //! * [`experiment::ScenarioSweep`] — runs many independent experiment
 //!   configurations across `std::thread::scope` workers (deterministic,
-//!   input-order results).
+//!   input-order results); with [`experiment::ScenarioSweep::with_lanes`]
+//!   each worker advances a lane-group of scenarios through the batched
+//!   engine, for `threads × lanes` total parallelism.
+//! * [`batch`] — the structure-of-arrays [`batch::BatchPlant`]: K plants
+//!   advanced in lockstep, one scenario per panel column.
 //! * [`naive`] — the checked-in naive baseline of the plant integrator, kept
 //!   for benchmarking and trajectory-equivalence tests.
 //!
@@ -59,6 +63,33 @@
 //! against [`naive::NaivePhysicalPlant`] (acceptance bar: ≥ 5× micro-steps
 //! per second) and cross-checks that both produce the same trajectory.
 //!
+//! # Batched scenario execution
+//!
+//! On top of the scalar engine, [`batch::BatchPlant`] advances K scenarios
+//! per instruction stream with a structure-of-arrays state: node temperatures
+//! and power injections live in `8 × K` panels, **one scenario per column**,
+//! so each per-node row is contiguous across scenarios. Per micro-step the
+//! batch engine
+//!
+//! * evaluates every lane's leakage in one unit-stride pass through a
+//!   [`power_model::LeakagePanel`] (anchored exponential: an exact `exp`
+//!   anchor refreshed every few micro-steps plus a short drift polynomial,
+//!   accurate to a few ulps),
+//! * assembles node powers from a per-interval linearisation
+//!   `P = base + coef · I_leak`, and
+//! * advances the thermal panel through one blocked mat-mat
+//!   ([`thermal_model::BatchStepTransition`]), loading the 8×8 transition
+//!   matrices once for all lanes.
+//!
+//! Control decisions stay per-lane ([`experiment::run_lockstep`] drives one
+//! control loop per scenario against the shared batch plant), so batched and
+//! scalar runs agree: the integrator is bit-identical, and full trajectories
+//! match within 1e-9 °C (proven by `tests/equivalence.rs`). Batched stepping
+//! applies when scenarios share the control period and (mostly) the
+//! fan/ambient transition key; diverging lanes fall back to an equivalent
+//! strided apply. The `sweep_step` Criterion bench pins the batched engine at
+//! ≥ 2× the scalar per-scenario micro-step throughput at eight lanes.
+//!
 //! # Example
 //!
 //! ```no_run
@@ -70,7 +101,7 @@
 //! let calibration = CalibrationCampaign::default().run(7)?;
 //! // ...then run Temple Run under the proposed DTPM policy.
 //! let config = ExperimentConfig::new(ExperimentKind::Dtpm, BenchmarkId::Templerun);
-//! let result = Experiment::new(config, &calibration)?.run()?;
+//! let result = Experiment::new(&config, &calibration)?.run()?;
 //! println!("execution time: {:.1} s", result.execution_time_s);
 //! # Ok(())
 //! # }
@@ -79,6 +110,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod batch;
 pub mod calibrate;
 pub mod error;
 pub mod experiment;
@@ -88,10 +120,11 @@ pub mod plant;
 pub mod sensors;
 pub mod trace;
 
+pub use batch::{BatchLaneInput, BatchPlant};
 pub use calibrate::{Calibration, CalibrationCampaign};
 pub use error::SimError;
 pub use experiment::{
-    Experiment, ExperimentConfig, ExperimentKind, ScenarioSweep, SimulationResult,
+    run_lockstep, Experiment, ExperimentConfig, ExperimentKind, ScenarioSweep, SimulationResult,
 };
 pub use metrics::{BenchmarkComparison, StabilityReport};
 pub use naive::NaivePhysicalPlant;

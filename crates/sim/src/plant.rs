@@ -117,29 +117,30 @@ struct CachedTransition {
 /// Quantities of the true power computation that stay constant over one
 /// control interval (platform state and demand are held constant within an
 /// interval, so only the temperature-dependent leakage terms vary per
-/// micro-step).
+/// micro-step). Shared between the scalar plant and the batched
+/// [`crate::batch::BatchPlant`].
 #[derive(Debug, Clone, Copy)]
-struct IntervalOps {
-    active_is_big: bool,
+pub(crate) struct IntervalOps {
+    pub(crate) active_is_big: bool,
     /// Voltage of the active cluster.
-    volts: f64,
+    pub(crate) volts: f64,
     /// Dynamic power of each online core, indexed by its slot in the online
     /// list (work streams spill over the online cores in order).
-    slot_dynamic: [f64; 4],
+    pub(crate) slot_dynamic: [f64; 4],
     /// Cluster-shared (uncore) power of the big cluster (big active only).
-    uncore: f64,
+    pub(crate) uncore: f64,
     /// Per-online-core share of the uncore power (big active only).
-    uncore_share: f64,
+    pub(crate) uncore_share: f64,
     /// Uncore + dynamic part of the little-cluster total (little active only).
-    little_base: f64,
+    pub(crate) little_base: f64,
     /// Lowest-OPP voltage of the power-gated cluster (residual leakage).
-    idle_volts: f64,
-    gpu_volts: f64,
-    gpu_dynamic: f64,
-    mem_power: f64,
+    pub(crate) idle_volts: f64,
+    pub(crate) gpu_volts: f64,
+    pub(crate) gpu_dynamic: f64,
+    pub(crate) mem_power: f64,
 }
 
-fn scaled(params: LeakageParams, factor: f64) -> LeakageModel {
+pub(crate) fn scaled(params: LeakageParams, factor: f64) -> LeakageModel {
     LeakageModel::new(LeakageParams {
         c1: params.c1 * factor,
         c2: params.c2,
@@ -194,91 +195,15 @@ impl PhysicalPlant {
     /// Precomputes everything about the true power computation that does not
     /// depend on the evolving temperatures. Platform state, demand and fan are
     /// held constant over a control interval, so this runs once per interval;
-    /// only the leakage terms in [`PhysicalPlant::domain_powers_at`] remain in
-    /// the per-micro-step path.
+    /// only the leakage terms in [`PhysicalPlant::domain_powers_into`] remain
+    /// in the per-micro-step path.
     fn interval_ops(
         &self,
         state: &PlatformState,
         demand: &Demand,
         online: &[usize],
     ) -> Result<IntervalOps, SimError> {
-        let spec = &self.spec;
-        let per_core_utilisation = |slot: usize| -> f64 {
-            // Stream `slot` gets the leftover demand after earlier cores.
-            (demand.cpu_streams - slot as f64).clamp(0.0, 1.0)
-        };
-
-        let mut slot_dynamic = [0.0f64; 4];
-        let (active_is_big, volts, uncore, uncore_share, little_base, idle_volts) =
-            match state.active_cluster {
-                ClusterKind::Big => {
-                    let freq = state.big_frequency;
-                    let volts = spec.big_opps().voltage_for(freq)?.volts();
-                    let v2f = volts * volts * freq.hz();
-                    // Shared/uncore power (L2, interconnect, clock tree) of the
-                    // powered cluster: it dissipates on the die, so it is
-                    // spread across the online core nodes for the thermal
-                    // network.
-                    let uncore = self.params.big_uncore_ceff_f * v2f;
-                    let uncore_share = if online.is_empty() {
-                        0.0
-                    } else {
-                        uncore / online.len() as f64
-                    };
-                    for (slot, slot_dyn) in slot_dynamic.iter_mut().enumerate().take(online.len()) {
-                        *slot_dyn = self.params.big_core_ceff_f
-                            * demand.activity_factor
-                            * per_core_utilisation(slot)
-                            * v2f;
-                    }
-                    // The little cluster is power-gated.
-                    let lv = spec.little_opps().lowest().voltage.volts();
-                    (true, volts, uncore, uncore_share, 0.0, lv)
-                }
-                ClusterKind::Little => {
-                    let freq = state.little_frequency;
-                    let volts = spec.little_opps().voltage_for(freq)?.volts();
-                    let v2f = volts * volts * freq.hz();
-                    let little_base = self.params.little_uncore_ceff_f * v2f
-                        + lv_cluster_dynamic(
-                            self.params.little_core_ceff_f,
-                            demand,
-                            online,
-                            v2f,
-                            per_core_utilisation,
-                        );
-                    // Big cluster gated: residual leakage only.
-                    let bv = spec.big_opps().lowest().voltage.volts();
-                    (false, volts, 0.0, 0.0, little_base, bv)
-                }
-            };
-
-        let gpu_volts = spec.gpu_opps().voltage_for(state.gpu_frequency)?.volts();
-        let gpu_dynamic = self.params.gpu_ceff_f
-            * demand.gpu_utilization
-            * gpu_volts
-            * gpu_volts
-            * state.gpu_frequency.hz();
-
-        // Memory power: the measured floor plus the demand-proportional active
-        // part. Memory leakage is folded into `memory_base_w` (the INA231 rail
-        // measurement the floor was taken from includes it), so no leakage
-        // model is evaluated for the memory domain.
-        let mem_power =
-            self.params.memory_base_w + self.params.memory_active_w * demand.memory_intensity;
-
-        Ok(IntervalOps {
-            active_is_big,
-            volts,
-            slot_dynamic,
-            uncore,
-            uncore_share,
-            little_base,
-            idle_volts,
-            gpu_volts,
-            gpu_dynamic,
-            mem_power,
-        })
+        compute_interval_ops(&self.spec, &self.params, state, demand, online)
     }
 
     /// True per-domain power at the current temperatures, written directly
@@ -380,15 +305,7 @@ impl PhysicalPlant {
     /// keeps the paper's performance loss small even when the DTPM algorithm
     /// throttles the frequency.
     fn throughput_units_per_s(&self, state: &PlatformState, demand: &Demand) -> f64 {
-        let active = state.active_cluster;
-        let online = state.online_core_count(active) as f64;
-        let streams = demand.cpu_streams.min(online);
-        let cluster = self.spec.cluster(active);
-        let freq_ghz = state.cluster_frequency(active).ghz();
-        let max_ghz = cluster.opps.highest().frequency.ghz();
-        let s = demand.frequency_scalability.clamp(0.0, 1.0);
-        let effective_ghz = max_ghz * ((1.0 - s) + s * freq_ghz / max_ghz);
-        streams * effective_ghz * cluster.performance_per_ghz
+        throughput_units_per_s(&self.spec, state, demand)
     }
 
     /// Advances the plant by one control interval of `interval_s` seconds with
@@ -432,17 +349,7 @@ impl PhysicalPlant {
 
         // Online cores of the active cluster, computed once per interval into
         // a fixed-size array (work streams spill over them in index order).
-        let active = state.active_cluster;
-        let mut online_buf = [0usize; 4];
-        let mut online_mask = [false; 4];
-        let mut online_count = 0;
-        for (core, flag) in online_mask.iter_mut().enumerate() {
-            if state.is_core_online(active, core) {
-                online_buf[online_count] = core;
-                *flag = true;
-                online_count += 1;
-            }
-        }
+        let (online_buf, online_mask, online_count) = online_cores(state, state.active_cluster);
         let online = &online_buf[..online_count];
         let ops = self.interval_ops(state, demand, online)?;
 
@@ -499,6 +406,131 @@ impl PhysicalPlant {
             work_done,
         })
     }
+}
+
+/// The interval-constant part of the true power computation, shared between
+/// the scalar [`PhysicalPlant`] and the batched [`crate::batch::BatchPlant`]
+/// (which evaluates it once per lane per control interval).
+pub(crate) fn compute_interval_ops(
+    spec: &SocSpec,
+    params: &PlantPowerParams,
+    state: &PlatformState,
+    demand: &Demand,
+    online: &[usize],
+) -> Result<IntervalOps, SimError> {
+    let per_core_utilisation = |slot: usize| -> f64 {
+        // Stream `slot` gets the leftover demand after earlier cores.
+        (demand.cpu_streams - slot as f64).clamp(0.0, 1.0)
+    };
+
+    let mut slot_dynamic = [0.0f64; 4];
+    let (active_is_big, volts, uncore, uncore_share, little_base, idle_volts) =
+        match state.active_cluster {
+            ClusterKind::Big => {
+                let freq = state.big_frequency;
+                let volts = spec.big_opps().voltage_for(freq)?.volts();
+                let v2f = volts * volts * freq.hz();
+                // Shared/uncore power (L2, interconnect, clock tree) of the
+                // powered cluster: it dissipates on the die, so it is
+                // spread across the online core nodes for the thermal
+                // network.
+                let uncore = params.big_uncore_ceff_f * v2f;
+                let uncore_share = if online.is_empty() {
+                    0.0
+                } else {
+                    uncore / online.len() as f64
+                };
+                for (slot, slot_dyn) in slot_dynamic.iter_mut().enumerate().take(online.len()) {
+                    *slot_dyn = params.big_core_ceff_f
+                        * demand.activity_factor
+                        * per_core_utilisation(slot)
+                        * v2f;
+                }
+                // The little cluster is power-gated.
+                let lv = spec.little_opps().lowest().voltage.volts();
+                (true, volts, uncore, uncore_share, 0.0, lv)
+            }
+            ClusterKind::Little => {
+                let freq = state.little_frequency;
+                let volts = spec.little_opps().voltage_for(freq)?.volts();
+                let v2f = volts * volts * freq.hz();
+                let little_base = params.little_uncore_ceff_f * v2f
+                    + lv_cluster_dynamic(
+                        params.little_core_ceff_f,
+                        demand,
+                        online,
+                        v2f,
+                        per_core_utilisation,
+                    );
+                // Big cluster gated: residual leakage only.
+                let bv = spec.big_opps().lowest().voltage.volts();
+                (false, volts, 0.0, 0.0, little_base, bv)
+            }
+        };
+
+    let gpu_volts = spec.gpu_opps().voltage_for(state.gpu_frequency)?.volts();
+    let gpu_dynamic = params.gpu_ceff_f
+        * demand.gpu_utilization
+        * gpu_volts
+        * gpu_volts
+        * state.gpu_frequency.hz();
+
+    // Memory power: the measured floor plus the demand-proportional active
+    // part. Memory leakage is folded into `memory_base_w` (the INA231 rail
+    // measurement the floor was taken from includes it), so no leakage
+    // model is evaluated for the memory domain.
+    let mem_power = params.memory_base_w + params.memory_active_w * demand.memory_intensity;
+
+    Ok(IntervalOps {
+        active_is_big,
+        volts,
+        slot_dynamic,
+        uncore,
+        uncore_share,
+        little_base,
+        idle_volts,
+        gpu_volts,
+        gpu_dynamic,
+        mem_power,
+    })
+}
+
+/// Which cores of the active cluster are online, as (online list, per-core
+/// mask, count). Work streams spill over the online list in index order.
+pub(crate) fn online_cores(
+    state: &PlatformState,
+    active: soc_model::ClusterKind,
+) -> ([usize; 4], [bool; 4], usize) {
+    let mut online_buf = [0usize; 4];
+    let mut online_mask = [false; 4];
+    let mut online_count = 0;
+    for (core, flag) in online_mask.iter_mut().enumerate() {
+        if state.is_core_online(active, core) {
+            online_buf[online_count] = core;
+            *flag = true;
+            online_count += 1;
+        }
+    }
+    (online_buf, online_mask, online_count)
+}
+
+/// CPU work completed per second for the given state and demand (see
+/// [`PhysicalPlant::throughput_units_per_s`]); shared with the batched plant
+/// so both engines report bit-identical work.
+pub(crate) fn throughput_units_per_s(
+    spec: &SocSpec,
+    state: &PlatformState,
+    demand: &Demand,
+) -> f64 {
+    let active = state.active_cluster;
+    let online = state.online_core_count(active) as f64;
+    let streams = demand.cpu_streams.min(online);
+    let cluster = spec.cluster(active);
+    let freq_ghz = state.cluster_frequency(active).ghz();
+    let max_ghz = cluster.opps.highest().frequency.ghz();
+    let s = demand.frequency_scalability.clamp(0.0, 1.0);
+    let effective_ghz = max_ghz * ((1.0 - s) + s * freq_ghz / max_ghz);
+    streams * effective_ghz * cluster.performance_per_ghz
 }
 
 fn lv_cluster_dynamic(

@@ -1,21 +1,25 @@
-//! Equivalence proofs for the optimized simulation hot path.
+//! Equivalence proofs for the optimized simulation hot paths.
 //!
 //! The zero-allocation engine ([`PhysicalPlant`]) must reproduce the
 //! trajectories of the checked-in naive baseline ([`NaivePhysicalPlant`],
-//! the original allocation-heavy loop) and the parallel scenario sweep must
-//! reproduce sequential execution exactly.
+//! the original allocation-heavy loop), the structure-of-arrays batch engine
+//! ([`BatchPlant`]) must reproduce the scalar plant lane by lane, and the
+//! parallel scenario sweep must reproduce sequential execution exactly.
 //!
-//! The plant comparison allows for floating-point *reassociation* only: the
-//! optimized engine advances the linear thermal ODE with the precomputed
-//! affine form of the RK4 step and hoists interval-constant arithmetic, which
-//! reorders mathematically-identical operations. Over tens of thousands of
-//! micro-steps the divergence stays below a micro-kelvin — physically the
-//! same trajectory (sensor quantisation alone is 0.1 °C).
+//! The plant comparisons allow for floating-point *reassociation* only: the
+//! optimized engines advance the linear thermal ODE with the precomputed
+//! affine form of the RK4 step and hoist interval-constant arithmetic, which
+//! reorders mathematically-identical operations (the batch engine
+//! additionally evaluates leakage with an anchored exponential accurate to a
+//! few ulps). Over tens of thousands of micro-steps the divergence stays far
+//! below a nano-kelvin per the batched bars here — physically the same
+//! trajectory (sensor quantisation alone is 0.1 °C).
 
 use platform_sim::{
-    CalibrationCampaign, Experiment, ExperimentConfig, ExperimentKind, NaivePhysicalPlant,
-    PhysicalPlant, PlantPowerParams, ScenarioSweep,
+    run_lockstep, BatchLaneInput, BatchPlant, CalibrationCampaign, Experiment, ExperimentConfig,
+    ExperimentKind, NaivePhysicalPlant, PhysicalPlant, PlantPowerParams, ScenarioSweep,
 };
+use proptest::prelude::*;
 use soc_model::{ClusterKind, FanLevel, Frequency, PlatformState, SocSpec};
 use workload::{BenchmarkId, Demand};
 
@@ -145,7 +149,7 @@ fn scenario_sweep_matches_sequential_runs() {
     let parallel = sweep.run(&calibration);
 
     for (config, result) in configs.iter().zip(parallel) {
-        let sequential = Experiment::new(config.clone(), &calibration)
+        let sequential = Experiment::new(config, &calibration)
             .unwrap()
             .run()
             .unwrap();
@@ -159,6 +163,229 @@ fn scenario_sweep_matches_sequential_runs() {
             sequential.mean_platform_power_w
         );
         assert_eq!(result.trace.len(), sequential.trace.len());
+    }
+}
+
+/// Per-lane platform state driven through frequency, hotplug, migration and
+/// fan phases, offset per lane so the lanes genuinely diverge.
+fn lane_state(spec: &SocSpec, lane: usize, i: usize) -> (PlatformState, FanLevel) {
+    let mut state = PlatformState::default_for(spec);
+    let phase = (i + lane * 37) % 400;
+    if (100..180).contains(&phase) {
+        state.set_core_online(ClusterKind::Big, 2, false);
+    }
+    if (180..260).contains(&phase) {
+        state.set_cluster_frequency(ClusterKind::Big, Frequency::from_mhz(1000));
+    }
+    if (260..330).contains(&phase) {
+        state.migrate_to_cluster(ClusterKind::Little, Frequency::from_mhz(1200));
+    }
+    let fan = match (i / 60 + lane) % 4 {
+        0 => FanLevel::Off,
+        1 => FanLevel::Base,
+        2 => FanLevel::Half,
+        _ => FanLevel::Full,
+    };
+    (state, fan)
+}
+
+#[test]
+fn batch_plant_matches_scalar_trajectories_for_mixed_lane_counts() {
+    // Lane counts covering the scalar case, a partial chunk, a full 8-lane
+    // chunk and a chunk-plus-remainder; every lane follows its own actuation
+    // schedule (including diverging fan levels, which force the per-lane
+    // strided transition fallback).
+    let spec = SocSpec::odroid_xu_e();
+    for lanes in [1usize, 3, 8, 11] {
+        let params: Vec<PlantPowerParams> = (0..lanes)
+            .map(|lane| PlantPowerParams {
+                leakage_mismatch: 1.0 + 0.02 * lane as f64,
+                initial_temp_c: 45.0 + lane as f64,
+                ..PlantPowerParams::default()
+            })
+            .collect();
+        let mut batch = BatchPlant::new(spec.clone(), &params);
+        let mut scalars: Vec<PhysicalPlant> = params
+            .iter()
+            .map(|p| PhysicalPlant::new(spec.clone(), *p))
+            .collect();
+
+        for i in 0..800 {
+            let lane_inputs: Vec<(PlatformState, FanLevel, Demand)> = (0..lanes)
+                .map(|lane| {
+                    let (state, fan) = lane_state(&spec, lane, i);
+                    (state, fan, demand_phase(i + lane))
+                })
+                .collect();
+            let inputs: Vec<BatchLaneInput<'_>> = lane_inputs
+                .iter()
+                .map(|(state, fan, demand)| BatchLaneInput {
+                    state,
+                    demand,
+                    fan_level: *fan,
+                    ambient_c: 28.0,
+                })
+                .collect();
+            let batch_steps = batch.step_interval(&inputs, 0.1).unwrap();
+            for (lane, ((state, fan, demand), batch_step)) in
+                lane_inputs.iter().zip(batch_steps).enumerate()
+            {
+                let scalar_step = scalars[lane]
+                    .step_interval(state, demand, *fan, 28.0, 0.1)
+                    .unwrap();
+                let batch_step = batch_step.expect("lane step succeeds");
+                assert_eq!(
+                    batch_step.work_done, scalar_step.work_done,
+                    "work model must agree exactly (lanes={lanes} lane={lane})"
+                );
+                assert!(
+                    (batch_step.platform_power_w - scalar_step.platform_power_w).abs() < 1e-9,
+                    "power diverged at lanes={lanes} lane={lane} interval {i}"
+                );
+            }
+        }
+
+        for (lane, scalar) in scalars.iter().enumerate() {
+            let batch_temps = batch.node_temps_c(lane);
+            for (node, (a, b)) in batch_temps
+                .iter()
+                .zip(scalar.node_temps_c().iter())
+                .enumerate()
+            {
+                assert!(
+                    (a - b).abs() < 1e-9,
+                    "lanes={lanes} lane={lane} node={node}: batched {a} vs scalar {b}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn lockstep_runner_matches_scalar_experiments() {
+    let campaign = CalibrationCampaign {
+        prbs_duration_s: 120.0,
+        run_furnace: false,
+        ..CalibrationCampaign::default()
+    };
+    let calibration = campaign.run(19).unwrap();
+
+    let configs: Vec<ExperimentConfig> = [
+        (ExperimentKind::Dtpm, BenchmarkId::Dijkstra, 21),
+        (ExperimentKind::DefaultWithFan, BenchmarkId::Blowfish, 22),
+        (ExperimentKind::WithoutFan, BenchmarkId::Qsort, 23),
+        (ExperimentKind::Reactive, BenchmarkId::Templerun, 24),
+    ]
+    .into_iter()
+    .map(|(kind, benchmark, seed)| {
+        let mut config = ExperimentConfig::new(kind, benchmark).with_seed(seed);
+        config.max_duration_s = 15.0;
+        config
+    })
+    .collect();
+
+    let lockstep = run_lockstep(&configs, &calibration);
+    assert_eq!(lockstep.len(), configs.len());
+    for (config, result) in configs.iter().zip(lockstep) {
+        let result = result.expect("lockstep run must succeed");
+        let sequential = Experiment::new(config, &calibration)
+            .unwrap()
+            .run()
+            .unwrap();
+        // The control loops are identical state machines; only the plant
+        // integration is batched (reassociated leakage at ~1e-13 °C), so the
+        // discrete outcomes must agree exactly and the continuous ones to
+        // far below sensor resolution.
+        assert_eq!(result.config, sequential.config);
+        assert_eq!(result.execution_time_s, sequential.execution_time_s);
+        assert_eq!(result.completed, sequential.completed);
+        assert_eq!(result.trace.len(), sequential.trace.len());
+        assert!(
+            (result.energy_j - sequential.energy_j).abs()
+                <= 1e-6 * sequential.energy_j.abs().max(1.0),
+            "energy diverged: {} vs {}",
+            result.energy_j,
+            sequential.energy_j
+        );
+        assert!(
+            (result.mean_platform_power_w - sequential.mean_platform_power_w).abs() < 1e-6,
+            "mean power diverged: {} vs {}",
+            result.mean_platform_power_w,
+            sequential.mean_platform_power_w
+        );
+    }
+}
+
+#[test]
+fn lockstep_runner_falls_back_for_mixed_control_periods() {
+    let campaign = CalibrationCampaign {
+        prbs_duration_s: 120.0,
+        run_furnace: false,
+        ..CalibrationCampaign::default()
+    };
+    let calibration = campaign.run(5).unwrap();
+
+    let mut fast = ExperimentConfig::new(ExperimentKind::WithoutFan, BenchmarkId::Crc32);
+    fast.max_duration_s = 5.0;
+    let mut slow = fast.clone();
+    slow.control_period_s = 0.2;
+    let results = run_lockstep(&[fast.clone(), slow.clone()], &calibration);
+    assert_eq!(results.len(), 2);
+    let a = results[0].as_ref().expect("fast config runs");
+    let b = results[1].as_ref().expect("slow config runs");
+    assert_eq!(a.config, fast);
+    assert_eq!(b.config, slow);
+}
+
+fn sweep_calibration() -> &'static platform_sim::Calibration {
+    static CALIBRATION: std::sync::OnceLock<platform_sim::Calibration> = std::sync::OnceLock::new();
+    CALIBRATION.get_or_init(|| {
+        CalibrationCampaign {
+            prbs_duration_s: 120.0,
+            run_furnace: false,
+            ..CalibrationCampaign::default()
+        }
+        .run(13)
+        .expect("calibration campaign must succeed")
+    })
+}
+
+proptest! {
+    #[test]
+    fn sweep_returns_results_in_input_order_for_any_thread_and_lane_count(
+        threads in 1usize..5,
+        lanes in 1usize..6,
+        count in 1usize..9,
+    ) {
+        let calibration = sweep_calibration();
+        let kinds = [
+            ExperimentKind::WithoutFan,
+            ExperimentKind::DefaultWithFan,
+            ExperimentKind::Reactive,
+            ExperimentKind::Dtpm,
+        ];
+        let benchmarks = [BenchmarkId::Crc32, BenchmarkId::Qsort, BenchmarkId::Dijkstra];
+        let configs: Vec<ExperimentConfig> = (0..count)
+            .map(|i| {
+                let mut config = ExperimentConfig::new(
+                    kinds[i % kinds.len()],
+                    benchmarks[i % benchmarks.len()],
+                )
+                .with_seed(100 + i as u64);
+                config.max_duration_s = 2.0;
+                config
+            })
+            .collect();
+        let results = ScenarioSweep::new(configs.clone())
+            .with_threads(threads)
+            .with_lanes(lanes)
+            .run(calibration);
+        prop_assert_eq!(results.len(), configs.len());
+        for (config, result) in configs.iter().zip(&results) {
+            let result = result.as_ref().expect("sweep run must succeed");
+            // Seeds are unique per input slot, so config equality pins order.
+            prop_assert_eq!(&result.config, config);
+        }
     }
 }
 

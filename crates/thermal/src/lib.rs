@@ -39,6 +39,28 @@
 //!   [`state_space::DiscreteThermalModel::predict_constant_power_into`] give
 //!   the prediction side the same scratch-reuse treatment.
 //!
+//! # Batched (structure-of-arrays) stepping
+//!
+//! Scenario sweeps advance many *independent* plants through the same
+//! network, so beyond the scalar transition there is a batch form:
+//! [`network::ThermalNetwork::batch_step_transition`] builds a
+//! [`network::BatchStepTransition`] that advances a `numeric::Panel` of
+//! temperatures — **one scenario per column**, each node row contiguous
+//! across scenarios. One call to
+//! [`network::BatchStepTransition::apply_panel`] is a blocked mat-mat that
+//! streams the two `n × n` matrices through the cache once for *all* lanes,
+//! instead of once per scenario as the scalar
+//! [`network::StepTransition::apply`] loop does.
+//!
+//! Batched stepping applies whenever the lanes share the transition key
+//! (fan boost, ambient, step size); lanes that diverge — different fan
+//! levels mid-sweep — are advanced by the strided
+//! [`network::BatchStepTransition::apply_lane`] fallback, which accumulates
+//! in the same per-lane order and is therefore bit-identical to the panel
+//! path (and to the scalar transition). Scalar stepping remains the right
+//! tool for a single trajectory; the panel pays for itself from a handful of
+//! lanes up.
+//!
 //! # Example
 //!
 //! ```
@@ -68,7 +90,7 @@ pub mod state_space;
 
 pub use error::ThermalError;
 pub use network::{
-    ExynosThermalNetwork, FanBoost, NodeId, RkScratch, StepTransition, ThermalNetwork,
-    ThermalNetworkBuilder,
+    BatchStepTransition, ExynosThermalNetwork, FanBoost, NodeId, RkScratch, StepTransition,
+    ThermalNetwork, ThermalNetworkBuilder,
 };
 pub use state_space::DiscreteThermalModel;

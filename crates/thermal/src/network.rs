@@ -15,7 +15,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use numeric::{Matrix, Vector};
+use numeric::{Matrix, Panel, Vector};
 
 use crate::ThermalError;
 
@@ -463,6 +463,25 @@ impl ThermalNetwork {
         ambient_c: f64,
         dt_s: f64,
     ) -> Result<StepTransition, ThermalError> {
+        let (r, s_power, ambient_drive) = self.transition_parts(fan_boost, ambient_c, dt_s)?;
+        Ok(StepTransition {
+            n: self.node_count(),
+            r_t: r.transpose().as_slice().to_vec(),
+            s_power_t: s_power.transpose().as_slice().to_vec(),
+            ambient_drive,
+        })
+    }
+
+    /// The affine one-micro-step RK4 map `T⁺ = R·T + S_p·p + c` shared by
+    /// [`ThermalNetwork::step_transition`] (scalar, transposed storage) and
+    /// [`ThermalNetwork::batch_step_transition`] (structure-of-arrays panel
+    /// form). Returns `(R, S_p, c)` with the matrices in row-major layout.
+    fn transition_parts(
+        &self,
+        fan_boost: FanBoost,
+        ambient_c: f64,
+        dt_s: f64,
+    ) -> Result<(Matrix, Matrix, Vec<f64>), ThermalError> {
         if !(dt_s > 0.0) || !dt_s.is_finite() {
             return Err(ThermalError::InvalidParameter("step size must be positive"));
         }
@@ -524,10 +543,31 @@ impl ThermalNetwork {
             ambient_drive[i] = c;
         }
 
-        Ok(StepTransition {
-            n,
-            r_t: r.transpose().as_slice().to_vec(),
-            s_power_t: s_power.transpose().as_slice().to_vec(),
+        Ok((r, s_power, ambient_drive))
+    }
+
+    /// Precomputes the one-micro-step RK4 transition in its
+    /// structure-of-arrays batch form: the same affine map as
+    /// [`ThermalNetwork::step_transition`], stored row-major so
+    /// [`BatchStepTransition::apply_panel`] can advance a whole temperature
+    /// panel (one scenario per column) with the matrices loaded once per
+    /// micro-step for all lanes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError::InvalidParameter`] for a non-positive step
+    /// size.
+    pub fn batch_step_transition(
+        &self,
+        fan_boost: FanBoost,
+        ambient_c: f64,
+        dt_s: f64,
+    ) -> Result<BatchStepTransition, ThermalError> {
+        let (r, s_power, ambient_drive) = self.transition_parts(fan_boost, ambient_c, dt_s)?;
+        Ok(BatchStepTransition {
+            n: self.node_count(),
+            r,
+            s_power,
             ambient_drive,
         })
     }
@@ -618,6 +658,90 @@ impl StepTransition {
             }
         }
         temps.copy_from_slice(tmp);
+    }
+}
+
+/// The batched (structure-of-arrays) form of a [`StepTransition`]: the same
+/// precomputed affine RK4 micro-step, applied to a temperature [`Panel`] that
+/// holds one scenario per column
+/// (see [`ThermalNetwork::batch_step_transition`]).
+///
+/// [`BatchStepTransition::apply_panel`] advances every lane in one blocked
+/// mat-mat pass (`numeric::affine_pair_apply`), so the two 8×8 matrices are
+/// streamed through the cache once per micro-step for *all* scenarios;
+/// [`BatchStepTransition::apply_lane`] advances a single column at stride and
+/// is used when lanes diverge (e.g. different fan levels) within a batch.
+/// Both paths accumulate each lane in the same order as
+/// [`StepTransition::apply`], so a batched lane's trajectory is bit-identical
+/// to the scalar transition given identical power inputs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BatchStepTransition {
+    n: usize,
+    /// `R`, row-major `n × n`.
+    r: Matrix,
+    /// `S·diag(1/C)`, row-major `n × n` (applied to the raw power panel).
+    s_power: Matrix,
+    /// `S·(1/C ⊙ G_amb·T_amb)`, the constant ambient drive.
+    ambient_drive: Vec<f64>,
+}
+
+impl BatchStepTransition {
+    /// Number of nodes the transition covers.
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// Advances every lane of `temps` by one micro-step with the per-lane
+    /// node power injections in `powers`, using `tmp` as scratch (its
+    /// contents are overwritten; after the call `temps` holds the new
+    /// temperatures). Allocation-free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the panels do not all have `node_count` rows and matching
+    /// lane counts.
+    #[inline]
+    pub fn apply_panel(&self, temps: &mut Panel, powers: &Panel, tmp: &mut Panel) {
+        numeric::affine_pair_apply(
+            &self.r,
+            &self.s_power,
+            &self.ambient_drive,
+            temps,
+            powers,
+            tmp,
+        )
+        .expect("panel shapes must cover all nodes");
+        std::mem::swap(temps, tmp);
+    }
+
+    /// Advances only lane `lane` of `temps` by one micro-step — the strided
+    /// fallback for batches whose lanes need different transitions. The
+    /// per-lane accumulation order matches [`BatchStepTransition::apply_panel`]
+    /// exactly, so mixing the two paths never changes a trajectory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the panels do not have `node_count` rows, `lane` is out of
+    /// range, or `col` does not cover all nodes.
+    #[inline]
+    pub fn apply_lane(&self, temps: &mut Panel, powers: &Panel, lane: usize, col: &mut [f64]) {
+        let n = self.n;
+        assert_eq!(temps.rows(), n, "temperature panel rows");
+        assert_eq!(powers.rows(), n, "power panel rows");
+        assert_eq!(col.len(), n, "column scratch length");
+        assert!(lane < temps.lanes(), "lane index out of bounds");
+        let r = self.r.as_slice();
+        let s = self.s_power.as_slice();
+        for (i, slot) in col.iter_mut().enumerate() {
+            let mut acc = self.ambient_drive[i];
+            for j in 0..n {
+                acc += r[i * n + j] * temps.get(j, lane) + s[i * n + j] * powers.get(j, lane);
+            }
+            *slot = acc;
+        }
+        for (i, &v) in col.iter().enumerate() {
+            temps.set(i, lane, v);
+        }
     }
 }
 
@@ -1002,6 +1126,70 @@ mod tests {
         for (a, b) in staged.iter().zip(&fast) {
             assert!((a - b).abs() < 1e-9, "{staged:?} vs {fast:?}");
         }
+    }
+
+    #[test]
+    fn batch_transition_lanes_match_scalar_transition_bitwise() {
+        // Every lane of the panel apply (and the strided per-lane fallback)
+        // must reproduce the scalar StepTransition exactly: the accumulation
+        // order is the same by construction.
+        let plant = ExynosThermalNetwork::odroid_xu_e();
+        let network = plant.network();
+        let boost = plant.fan_boost(0.04);
+        let scalar = network.step_transition(boost, 28.0, 0.01).unwrap();
+        let batch = network.batch_step_transition(boost, 28.0, 0.01).unwrap();
+        assert_eq!(batch.node_count(), 8);
+
+        for lanes in [1, 3, 8, 11] {
+            let n = network.node_count();
+            let mut temps = Panel::zeros(n, lanes);
+            let mut powers = Panel::zeros(n, lanes);
+            let mut tmp = Panel::zeros(n, lanes);
+            let mut scalar_temps: Vec<Vec<f64>> = Vec::new();
+            let mut scalar_powers: Vec<Vec<f64>> = Vec::new();
+            for lane in 0..lanes {
+                let t: Vec<f64> = (0..n)
+                    .map(|i| 45.0 + (lane * n + i) as f64 * 0.31)
+                    .collect();
+                let p =
+                    plant.power_vector(&[0.8, 0.9, 0.7, 0.6], 0.05, 0.3 + lane as f64 * 0.02, 0.4);
+                temps.set_column(lane, &t);
+                powers.set_column(lane, &p);
+                scalar_temps.push(t);
+                scalar_powers.push(p);
+            }
+            let mut scratch = vec![0.0; n];
+            for step in 0..200 {
+                if step % 2 == 0 {
+                    batch.apply_panel(&mut temps, &powers, &mut tmp);
+                } else {
+                    for lane in 0..lanes {
+                        batch.apply_lane(&mut temps, &powers, lane, &mut scratch);
+                    }
+                }
+                for (lane_temps, lane_powers) in scalar_temps.iter_mut().zip(&scalar_powers) {
+                    scalar.apply(lane_temps, lane_powers, &mut scratch);
+                }
+            }
+            for (lane, lane_temps) in scalar_temps.iter().enumerate() {
+                for (i, expected) in lane_temps.iter().enumerate() {
+                    assert_eq!(
+                        temps.get(i, lane).to_bits(),
+                        expected.to_bits(),
+                        "lanes={lanes} lane={lane} node={i}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batch_transition_rejects_bad_step_size() {
+        let plant = ExynosThermalNetwork::odroid_xu_e();
+        assert!(plant
+            .network()
+            .batch_step_transition(FanBoost::NONE, 28.0, -1.0)
+            .is_err());
     }
 
     #[test]

@@ -123,22 +123,24 @@ impl DiscreteThermalModel {
         self.sample_period_s
     }
 
-    /// The `i`-th row of `As` (written `As,i` in the paper's budget equation).
+    /// The `i`-th row of `As` (written `As,i` in the paper's budget equation)
+    /// as a borrowed slice — no per-call allocation.
     ///
     /// # Panics
     ///
     /// Panics if `i` is out of range.
-    pub fn a_row(&self, i: usize) -> Vector {
-        self.a.row(i)
+    pub fn a_row(&self, i: usize) -> &[f64] {
+        self.a.row_slice(i)
     }
 
-    /// The `i`-th row of `Bs` (written `Bs,i` in the paper's budget equation).
+    /// The `i`-th row of `Bs` (written `Bs,i` in the paper's budget equation)
+    /// as a borrowed slice — no per-call allocation.
     ///
     /// # Panics
     ///
     /// Panics if `i` is out of range.
-    pub fn b_row(&self, i: usize) -> Vector {
-        self.b.row(i)
+    pub fn b_row(&self, i: usize) -> &[f64] {
+        self.b.row_slice(i)
     }
 
     /// One prediction step: `T[k+1] = As·T[k] + Bs·P[k]`.
@@ -473,8 +475,8 @@ mod tests {
     #[test]
     fn row_accessors_match_matrices() {
         let model = example_model();
-        assert_eq!(model.a_row(2).as_slice(), model.a().row(2).as_slice());
-        assert_eq!(model.b_row(1).as_slice(), model.b().row(1).as_slice());
+        assert_eq!(model.a_row(2), model.a().row(2).as_slice());
+        assert_eq!(model.b_row(1), model.b().row(1).as_slice());
         assert_eq!(model.sample_period_s(), 0.1);
     }
 }

@@ -28,7 +28,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut baseline_power = None;
     for kind in ExperimentKind::ALL {
         let config = ExperimentConfig::new(kind, BenchmarkId::Templerun).with_seed(3);
-        let result = Experiment::new(config, &calibration)?.run()?;
+        let result = Experiment::new(&config, &calibration)?.run()?;
         let stability = StabilityReport::of_steady_portion(&result, 0.3);
         println!(
             "{:<18} {:>10.1} {:>12.2} {:>10.1} {:>10.1} {:>12.1} {:>12.1}",

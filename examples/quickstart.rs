@@ -25,14 +25,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let benchmark = BenchmarkId::Basicmath;
     println!("\nRunning {benchmark} under the default configuration (with fan)...");
     let baseline = Experiment::new(
-        ExperimentConfig::new(ExperimentKind::DefaultWithFan, benchmark),
+        &ExperimentConfig::new(ExperimentKind::DefaultWithFan, benchmark),
         &calibration,
     )?
     .run()?;
 
     println!("Running {benchmark} under the proposed DTPM algorithm (no fan)...");
     let dtpm = Experiment::new(
-        ExperimentConfig::new(ExperimentKind::Dtpm, benchmark),
+        &ExperimentConfig::new(ExperimentKind::Dtpm, benchmark),
         &calibration,
     )?
     .run()?;

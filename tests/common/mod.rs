@@ -36,7 +36,7 @@ pub fn run(
     benchmark: BenchmarkId,
 ) -> SimulationResult {
     let config = ExperimentConfig::new(kind, benchmark).with_seed(7);
-    Experiment::new(config, calibration)
+    Experiment::new(&config, calibration)
         .expect("experiment construction must succeed")
         .run()
         .expect("experiment run must succeed")
