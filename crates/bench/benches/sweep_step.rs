@@ -15,7 +15,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use std::time::Instant;
 
-use platform_sim::{BatchLaneInput, BatchPlant, PhysicalPlant, PlantPowerParams};
+use platform_sim::{BatchPlant, LaneInput, PhysicalPlant, PlantPowerParams};
 use soc_model::{FanLevel, PlatformState, SocSpec};
 use workload::Demand;
 
@@ -47,7 +47,7 @@ fn bench_sweep_step(c: &mut Criterion) {
     let mut batched = BatchPlant::new(spec.clone(), &params);
     group.bench_function("batched", |b| {
         b.iter(|| {
-            let inputs: [BatchLaneInput<'_>; LANES] = std::array::from_fn(|_| BatchLaneInput {
+            let inputs: [LaneInput<'_>; LANES] = std::array::from_fn(|_| LaneInput {
                 state: black_box(&state),
                 demand: black_box(&demand),
                 fan_level: FanLevel::Off,
@@ -98,7 +98,7 @@ fn report_steps_per_second(spec: &SocSpec, state: &PlatformState, demand: &Deman
     for _ in 0..passes {
         let start = Instant::now();
         for _ in 0..intervals {
-            let inputs: [BatchLaneInput<'_>; LANES] = std::array::from_fn(|_| BatchLaneInput {
+            let inputs: [LaneInput<'_>; LANES] = std::array::from_fn(|_| LaneInput {
                 state,
                 demand,
                 fan_level: FanLevel::Off,
@@ -146,12 +146,10 @@ fn report_steps_per_second(spec: &SocSpec, state: &PlatformState, demand: &Deman
     // same simulated horizon every lane must match its scalar twin far below
     // any physically meaningful scale.
     let mut worst = 0.0f64;
+    let mut lane_temps = vec![0.0; batched.node_count()];
     for (lane, plant) in scalars.iter().enumerate() {
-        for (a, b) in batched
-            .node_temps_c(lane)
-            .iter()
-            .zip(plant.node_temps_c().iter())
-        {
+        batched.node_temps_into(lane, &mut lane_temps);
+        for (a, b) in lane_temps.iter().zip(plant.node_temps_c().iter()) {
             worst = worst.max((a - b).abs());
         }
     }

@@ -146,24 +146,36 @@ impl LeakagePanel {
     /// step, so 16 steps keep `|a − a0| < 0.05` with a wide margin.
     pub const REANCHOR_STEPS: usize = 16;
 
-    /// Creates a `rows × lanes` panel with every cell set to `model`.
+    /// Creates a `rows × lanes` panel with every cell set to `model`,
+    /// anchored at `anchor_temp_c`.
+    ///
+    /// Anchors are valid from construction: there is no unanchored state a
+    /// caller could evaluate by mistake, so a panel (or a lane admitted into
+    /// one mid-sweep via [`LeakagePanel::set_model`]) always produces finite
+    /// currents. The anchor is *exact* at `anchor_temp_c` and the drift
+    /// polynomial covers departures of a few hundredths of a kelvin, so pass
+    /// the temperature the first evaluation will actually use (the plant's
+    /// initial temperature) and re-anchor on the usual cadence afterwards.
     ///
     /// # Panics
     ///
-    /// Panics if `rows` or `lanes` is zero.
-    pub fn filled(rows: usize, lanes: usize, model: &LeakageModel) -> Self {
+    /// Panics if `rows` or `lanes` is zero or `anchor_temp_c` is not finite.
+    pub fn filled(rows: usize, lanes: usize, model: &LeakageModel, anchor_temp_c: f64) -> Self {
         assert!(rows > 0 && lanes > 0, "panel dimensions must be non-zero");
+        assert!(
+            anchor_temp_c.is_finite(),
+            "anchor temperature must be finite"
+        );
         let n = rows * lanes;
+        let a = model.params.c2 / celsius_to_kelvin(anchor_temp_c);
         LeakagePanel {
             rows,
             lanes,
             c1: vec![model.params.c1; n],
             c2: vec![model.params.c2; n],
             igate: vec![model.params.igate_a; n],
-            // Anchors start invalid (NaN): rows must be anchored before the
-            // first currents evaluation.
-            a0: vec![f64::NAN; n],
-            e0: vec![f64::NAN; n],
+            a0: vec![a; n],
+            e0: vec![a.exp(); n],
         }
     }
 
@@ -177,26 +189,36 @@ impl LeakagePanel {
         self.lanes
     }
 
-    /// Sets the leakage model of cell `(row, lane)`. Any existing anchor for
-    /// the cell is invalidated (set to NaN): the caller must re-anchor the
-    /// row before evaluating currents, otherwise the stale anchor of the old
-    /// model would silently skew the drift polynomial — with NaN the misuse
-    /// is loud instead.
+    /// Sets the leakage model of cell `(row, lane)` and immediately anchors
+    /// it at `anchor_temp_c` with the exact `libm` exponential.
+    ///
+    /// Requiring the anchor temperature here (instead of poisoning the cell
+    /// until a separate anchor call) means a lane admitted into a running
+    /// sweep can never read an unanchored exponential: the stale anchor of
+    /// the *old* model is replaced atomically with a fresh, exact anchor for
+    /// the new one. Pass the temperature the lane restarts at (its initial
+    /// temperature); scheduled re-anchoring takes over from there.
     ///
     /// # Panics
     ///
-    /// Panics if `row` or `lane` is out of bounds.
-    pub fn set_model(&mut self, row: usize, lane: usize, model: &LeakageModel) {
+    /// Panics if `row` or `lane` is out of bounds or `anchor_temp_c` is not
+    /// finite.
+    pub fn set_model(&mut self, row: usize, lane: usize, model: &LeakageModel, anchor_temp_c: f64) {
         assert!(
             row < self.rows && lane < self.lanes,
             "panel index out of bounds"
+        );
+        assert!(
+            anchor_temp_c.is_finite(),
+            "anchor temperature must be finite"
         );
         let k = row * self.lanes + lane;
         self.c1[k] = model.params.c1;
         self.c2[k] = model.params.c2;
         self.igate[k] = model.params.igate_a;
-        self.a0[k] = f64::NAN;
-        self.e0[k] = f64::NAN;
+        let a = model.params.c2 / celsius_to_kelvin(anchor_temp_c);
+        self.a0[k] = a;
+        self.e0[k] = a.exp();
     }
 
     /// Re-anchors row `row` at the given temperatures (°C, one per lane)
@@ -298,6 +320,10 @@ fn currents_span(
     out: &mut [f64],
 ) {
     for (k, slot) in out.iter_mut().enumerate() {
+        debug_assert!(
+            a0[k].is_finite() && e0[k].is_finite(),
+            "leakage cell {k} evaluated with an invalid anchor"
+        );
         let t = celsius_to_kelvin(temps_c[k]);
         let delta = c2[k] / t - a0[k];
         *slot = c1[k] * t * t * (e0[k] * exp_delta(delta)) + igate[k];
@@ -478,9 +504,9 @@ mod tests {
         // so the panel reproduces `current_a` bit for bit.
         let big = LeakageModel::exynos5410_big();
         let gpu = LeakageModel::exynos5410_gpu();
-        let mut panel = LeakagePanel::filled(2, 3, &big);
+        let mut panel = LeakagePanel::filled(2, 3, &big, 52.0);
         for lane in 0..3 {
-            panel.set_model(1, lane, &gpu);
+            panel.set_model(1, lane, &gpu, 52.0);
         }
         let temps = [41.5, 63.25, 80.0];
         let mut out = [0.0; 3];
@@ -502,7 +528,7 @@ mod tests {
         // must stay within floating-point rounding of the scalar model over
         // the documented drift budget.
         let model = LeakageModel::exynos5410_big();
-        let mut panel = LeakagePanel::filled(1, 4, &model);
+        let mut panel = LeakagePanel::filled(1, 4, &model, 45.0);
         let anchor = [45.0, 55.0, 70.0, 85.0];
         panel.anchor_row(0, &anchor);
         let mut out = [0.0; 4];
@@ -523,9 +549,51 @@ mod tests {
     }
 
     #[test]
+    fn leakage_panel_is_anchored_from_construction() {
+        // Regression for the NaN-until-first-anchor footgun: a freshly built
+        // panel must be evaluable immediately, and at the construction anchor
+        // temperature it must reproduce `current_a` bit for bit.
+        let model = LeakageModel::exynos5410_big();
+        let panel = LeakagePanel::filled(3, 2, &model, 52.0);
+        let temps = [52.0; 6];
+        let mut out = [0.0; 6];
+        panel.currents_into(&temps, &mut out);
+        for (k, &i) in out.iter().enumerate() {
+            assert!(i.is_finite(), "cell {k} must be finite without anchoring");
+            assert_eq!(i, model.current_a(52.0), "cell {k}");
+        }
+    }
+
+    #[test]
+    fn set_model_mid_run_never_reads_unanchored_exponential() {
+        // A lane admitted into a running sweep swaps its models mid-flight,
+        // between scheduled re-anchors. The swapped cell must evaluate to the
+        // new model's exact current straight away — no NaN, no stale-anchor
+        // drift from the old model.
+        let big = LeakageModel::exynos5410_big();
+        let gpu = LeakageModel::exynos5410_gpu();
+        let mut panel = LeakagePanel::filled(1, 3, &big, 48.0);
+        let mut out = [0.0; 3];
+        // Drift the running lanes away from the anchor, as a sweep would.
+        panel.currents_row_into(0, &[48.3, 48.3, 48.3], &mut out);
+
+        // Admit a new scenario into lane 1 at a different temperature.
+        panel.set_model(0, 1, &gpu, 61.0);
+        panel.currents_row_into(0, &[48.3, 61.0, 48.3], &mut out);
+        assert!(out.iter().all(|i| i.is_finite()));
+        assert_eq!(out[1], gpu.current_a(61.0), "admitted lane is exact");
+        // Neighbouring lanes keep tracking the old model within drift budget.
+        let exact = big.current_a(48.3);
+        for &lane in &[0usize, 2] {
+            let rel = ((out[lane] - exact) / exact).abs();
+            assert!(rel < 5e-15, "lane {lane} rel error {rel:.3e}");
+        }
+    }
+
+    #[test]
     fn leakage_panel_validates_indices() {
         let model = LeakageModel::exynos5410_big();
-        let panel = LeakagePanel::filled(2, 2, &model);
+        let panel = LeakagePanel::filled(2, 2, &model, 52.0);
         assert_eq!(panel.rows(), 2);
         assert_eq!(panel.lanes(), 2);
         let result = std::panic::catch_unwind(|| {

@@ -30,10 +30,10 @@
 
 use numeric::Panel;
 use power_model::{DomainPower, LeakagePanel, LeakageParams};
-use soc_model::{FanLevel, PlatformState, SocSpec};
+use soc_model::SocSpec;
 use thermal_model::{BatchStepTransition, ExynosThermalNetwork};
-use workload::Demand;
 
+use crate::engine::LaneInput;
 use crate::plant::{
     compute_interval_ops, online_cores, scaled, throughput_units_per_s, IntervalOps,
     PlantPowerParams, PlantStep,
@@ -43,19 +43,6 @@ use crate::SimError;
 /// Number of leakage-current rows the batch evaluates per micro-step: the
 /// four big cores, the little cluster (sensed at the case) and the GPU.
 const LEAK_ROWS: usize = 6;
-
-/// One lane's interval-constant inputs to [`BatchPlant::step_interval`].
-#[derive(Debug, Clone, Copy)]
-pub struct BatchLaneInput<'a> {
-    /// Platform state held constant over the interval.
-    pub state: &'a PlatformState,
-    /// Workload demand held constant over the interval.
-    pub demand: &'a Demand,
-    /// Fan level held constant over the interval.
-    pub fan_level: FanLevel,
-    /// Ambient temperature, °C.
-    pub ambient_c: f64,
-}
 
 /// A cached batch transition together with the (fan boost, ambient) key it
 /// was built for.
@@ -125,7 +112,7 @@ impl BatchPlant {
     pub fn new(spec: SocSpec, params: &[PlantPowerParams]) -> Self {
         assert!(!params.is_empty(), "a batch plant needs at least one lane");
         let thermal = ExynosThermalNetwork::odroid_xu_e();
-        let node_count = thermal.network().node_count();
+        let node_count = thermal.node_count();
         let lanes = params.len();
 
         let mut temps = Panel::zeros(node_count, lanes);
@@ -133,6 +120,7 @@ impl BatchPlant {
             LEAK_ROWS,
             lanes,
             &scaled(LeakageParams::exynos5410_big(), params[0].leakage_mismatch),
+            params[0].initial_temp_c,
         );
         for (lane, p) in params.iter().enumerate() {
             for node in 0..node_count {
@@ -142,10 +130,10 @@ impl BatchPlant {
             let little = scaled(LeakageParams::exynos5410_little(), p.leakage_mismatch);
             let gpu = scaled(LeakageParams::exynos5410_gpu(), p.leakage_mismatch);
             for row in 0..4 {
-                leak.set_model(row, lane, &big);
+                leak.set_model(row, lane, &big, p.initial_temp_c);
             }
-            leak.set_model(4, lane, &little);
-            leak.set_model(5, lane, &gpu);
+            leak.set_model(4, lane, &little, p.initial_temp_c);
+            leak.set_model(5, lane, &gpu, p.initial_temp_c);
         }
 
         let core_nodes = thermal.big_core_nodes();
@@ -202,13 +190,33 @@ impl BatchPlant {
         self.lanes
     }
 
-    /// Lane `lane`'s current true temperature of every thermal node, °C.
+    /// Number of thermal nodes per lane.
+    pub fn node_count(&self) -> usize {
+        self.temps.rows()
+    }
+
+    /// Writes lane `lane`'s current true temperature of every thermal node
+    /// (°C) into `out` — the allocation-free accessor the control-loop
+    /// executor and the equivalence harnesses use for their per-lane reads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane` is out of range or `out` does not cover
+    /// [`BatchPlant::node_count`] nodes.
+    pub fn node_temps_into(&self, lane: usize, out: &mut [f64]) {
+        self.temps.column_into(lane, out);
+    }
+
+    /// Lane `lane`'s current true temperature of every thermal node, °C
+    /// (allocating convenience wrapper over [`BatchPlant::node_temps_into`]).
     ///
     /// # Panics
     ///
     /// Panics if `lane` is out of range.
     pub fn node_temps_c(&self, lane: usize) -> Vec<f64> {
-        self.temps.column(lane)
+        let mut out = vec![0.0; self.node_count()];
+        self.node_temps_into(lane, &mut out);
+        out
     }
 
     /// Lane `lane`'s current true hotspot (big-core) temperatures, °C.
@@ -237,6 +245,37 @@ impl BatchPlant {
             self.temps.set(node, lane, temp_c);
         }
         self.steps_since_anchor = 0;
+    }
+
+    /// Re-initialises lane `lane` for a new scenario mid-batch: the lane's
+    /// true power parameters become `params`, its leakage models are rebuilt
+    /// from the new mismatch factor (anchored exactly at the new initial
+    /// temperature, so the admitted lane never reads a stale or unanchored
+    /// exponential), and every node restarts at `params.initial_temp_c`.
+    ///
+    /// The other lanes are untouched — their temperatures, anchors and the
+    /// shared re-anchor cadence all stay exactly as they were, so recycling
+    /// a freed lane mid-sweep cannot perturb in-flight trajectories. This is
+    /// the retire→admit primitive behind the lane-compacting sweep
+    /// scheduler (see [`crate::ScenarioSweep`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane` is out of range.
+    pub fn admit_lane(&mut self, lane: usize, params: PlantPowerParams) {
+        assert!(lane < self.lanes, "lane index out of bounds");
+        let big = scaled(LeakageParams::exynos5410_big(), params.leakage_mismatch);
+        let little = scaled(LeakageParams::exynos5410_little(), params.leakage_mismatch);
+        let gpu = scaled(LeakageParams::exynos5410_gpu(), params.leakage_mismatch);
+        for row in 0..4 {
+            self.leak.set_model(row, lane, &big, params.initial_temp_c);
+        }
+        self.leak.set_model(4, lane, &little, params.initial_temp_c);
+        self.leak.set_model(5, lane, &gpu, params.initial_temp_c);
+        for node in 0..self.temps.rows() {
+            self.temps.set(node, lane, params.initial_temp_c);
+        }
+        self.params[lane] = params;
     }
 
     /// Looks up (or builds and caches) the batch transition for one
@@ -318,7 +357,26 @@ impl BatchPlant {
 
     /// Advances every lane by one control interval with per-lane platform
     /// state, demand, fan level and ambient held constant. Returns one
-    /// [`PlantStep`] result per lane, in lane order.
+    /// [`PlantStep`] result per lane, in lane order (allocating convenience
+    /// wrapper over [`BatchPlant::step_interval_into`]).
+    ///
+    /// # Errors
+    ///
+    /// See [`BatchPlant::step_interval_into`].
+    pub fn step_interval(
+        &mut self,
+        inputs: &[LaneInput<'_>],
+        interval_s: f64,
+    ) -> Result<Vec<Result<PlantStep, SimError>>, SimError> {
+        let mut steps = Vec::with_capacity(self.lanes);
+        self.step_interval_into(inputs, interval_s, &mut steps)?;
+        Ok(steps)
+    }
+
+    /// Advances every lane by one control interval with per-lane platform
+    /// state, demand, fan level and ambient held constant, replacing the
+    /// contents of `steps` with one [`PlantStep`] result per lane, in lane
+    /// order.
     ///
     /// A lane whose interval setup fails (e.g. an unsupported frequency)
     /// reports its error without disturbing the other lanes; its power
@@ -328,12 +386,14 @@ impl BatchPlant {
     ///
     /// Returns a batch-level error only for malformed calls: a lane-input
     /// count that does not match [`BatchPlant::lanes`] or a non-positive
-    /// interval.
-    pub fn step_interval(
+    /// interval. `steps` is left empty in that case.
+    pub fn step_interval_into(
         &mut self,
-        inputs: &[BatchLaneInput<'_>],
+        inputs: &[LaneInput<'_>],
         interval_s: f64,
-    ) -> Result<Vec<Result<PlantStep, SimError>>, SimError> {
+        steps: &mut Vec<Result<PlantStep, SimError>>,
+    ) -> Result<(), SimError> {
+        steps.clear();
         if inputs.len() != self.lanes {
             return Err(SimError::InvalidConfig(
                 "lane input count must match the batch width",
@@ -342,7 +402,7 @@ impl BatchPlant {
         if !(interval_s > 0.0) {
             return Err(SimError::InvalidConfig("control interval must be positive"));
         }
-        let steps = (interval_s / self.plant_dt_s).round().max(1.0) as usize;
+        let micro_steps = (interval_s / self.plant_dt_s).round().max(1.0) as usize;
 
         // The transition cache is keyed by (fan level, ambient); both take a
         // handful of values per sweep, but bound it anyway so a caller that
@@ -398,38 +458,34 @@ impl BatchPlant {
         self.prefill_constant_power_rows();
 
         self.accum.fill(0.0);
-        for _ in 0..steps {
+        for _ in 0..micro_steps {
             self.micro_step(uniform);
         }
 
-        let scale = 1.0 / steps as f64;
-        let results = inputs
-            .iter()
-            .enumerate()
-            .map(|(lane, input)| {
-                if let Some(e) = lane_errors[lane].take() {
-                    return Err(e);
-                }
-                let domain_power = DomainPower::new(
-                    self.accum.get(0, lane) * scale + self.uncore_orphan_w[lane],
-                    self.accum.get(1, lane) * scale,
-                    self.accum.get(2, lane) * scale,
-                    self.accum.get(3, lane) * scale,
-                );
-                let fan_power = self.spec.fan().power_w(input.fan_level);
-                let platform_power_w =
-                    domain_power.total() + self.params[lane].board_base_w + fan_power;
-                let work_done =
-                    throughput_units_per_s(&self.spec, input.state, input.demand) * interval_s;
-                Ok(PlantStep {
-                    domain_power,
-                    core_temps_c: self.core_temps_c(lane),
-                    platform_power_w,
-                    work_done,
-                })
+        let scale = 1.0 / micro_steps as f64;
+        steps.extend(inputs.iter().enumerate().map(|(lane, input)| {
+            if let Some(e) = lane_errors[lane].take() {
+                return Err(e);
+            }
+            let domain_power = DomainPower::new(
+                self.accum.get(0, lane) * scale + self.uncore_orphan_w[lane],
+                self.accum.get(1, lane) * scale,
+                self.accum.get(2, lane) * scale,
+                self.accum.get(3, lane) * scale,
+            );
+            let fan_power = self.spec.fan().power_w(input.fan_level);
+            let platform_power_w =
+                domain_power.total() + self.params[lane].board_base_w + fan_power;
+            let work_done =
+                throughput_units_per_s(&self.spec, input.state, input.demand) * interval_s;
+            Ok(PlantStep {
+                domain_power,
+                core_temps_c: self.core_temps_c(lane),
+                platform_power_w,
+                work_done,
             })
-            .collect();
-        Ok(results)
+        }));
+        Ok(())
     }
 
     /// Fills the power rows of nodes without a leakage source (memory, case)
@@ -556,6 +612,8 @@ impl BatchPlant {
 mod tests {
     use super::*;
     use crate::plant::PhysicalPlant;
+    use soc_model::{FanLevel, PlatformState};
+    use workload::Demand;
 
     fn demand() -> Demand {
         Demand {
@@ -581,7 +639,7 @@ mod tests {
                 .unwrap();
             let batch_steps = batch
                 .step_interval(
-                    &[BatchLaneInput {
+                    &[LaneInput {
                         state: &state,
                         demand: &d,
                         fan_level: FanLevel::Off,
@@ -619,13 +677,13 @@ mod tests {
             let steps = batch
                 .step_interval(
                     &[
-                        BatchLaneInput {
+                        LaneInput {
                             state: &state,
                             demand: &d,
                             fan_level: FanLevel::Off,
                             ambient_c: 28.0,
                         },
-                        BatchLaneInput {
+                        LaneInput {
                             state: &state,
                             demand: &d,
                             fan_level: FanLevel::Full,
@@ -665,7 +723,7 @@ mod tests {
                 .unwrap();
             let batch_steps = batch
                 .step_interval(
-                    &[BatchLaneInput {
+                    &[LaneInput {
                         state: &state,
                         demand: &d,
                         fan_level: FanLevel::Off,
@@ -712,7 +770,7 @@ mod tests {
                 .unwrap();
             let steps = batch
                 .step_interval(
-                    &[BatchLaneInput {
+                    &[LaneInput {
                         state: &state,
                         demand: &d,
                         fan_level: FanLevel::Off,
@@ -736,9 +794,9 @@ mod tests {
         let mut wide = BatchPlant::new(spec.clone(), &wide_params);
         let ambients: Vec<f64> = (0..lanes).map(|l| 20.0 + 0.5 * l as f64).collect();
         for _ in 0..5 {
-            let inputs: Vec<BatchLaneInput<'_>> = ambients
+            let inputs: Vec<LaneInput<'_>> = ambients
                 .iter()
-                .map(|&ambient_c| BatchLaneInput {
+                .map(|&ambient_c| LaneInput {
                     state: &state,
                     demand: &d,
                     fan_level: FanLevel::Off,
@@ -774,7 +832,7 @@ mod tests {
         let mut batch = BatchPlant::new(spec.clone(), &[params]);
         let state = PlatformState::default_for(&spec);
         let d = demand();
-        let input = BatchLaneInput {
+        let input = LaneInput {
             state: &state,
             demand: &d,
             fan_level: FanLevel::Off,
@@ -797,5 +855,79 @@ mod tests {
             .all(|&t| t == params.initial_temp_c));
         assert_eq!(batch.lanes(), 2);
         assert_eq!(batch.core_temps_c(1), [70.0; 4]);
+    }
+
+    #[test]
+    fn lane_admitted_mid_sweep_matches_a_fresh_scalar_run() {
+        // The retire→admit primitive: run a 2-lane batch for a while (so the
+        // shared re-anchor cadence is mid-stride), recycle lane 1 for a new
+        // scenario with different power parameters, and check that (a) the
+        // admitted lane's trajectory matches a fresh scalar plant of the new
+        // scenario to ≤ 1e-9 °C — in particular it never reads an unanchored
+        // leakage exponential (which would show up as NaN temperatures) —
+        // and (b) the surviving lane 0 stays on its original trajectory.
+        let spec = SocSpec::odroid_xu_e();
+        let params = PlantPowerParams::default();
+        let mut batch = BatchPlant::new(spec.clone(), &[params, params]);
+        let mut survivor = PhysicalPlant::new(spec.clone(), params);
+        let state = PlatformState::default_for(&spec);
+        let d = demand();
+        let input = |state| LaneInput {
+            state,
+            demand: &d,
+            fan_level: FanLevel::Off,
+            ambient_c: 28.0,
+        };
+        // 7 intervals × 10 micro-steps: steps_since_anchor = 70 % 16 ≠ 0.
+        for _ in 0..7 {
+            batch
+                .step_interval(&[input(&state), input(&state)], 0.1)
+                .unwrap();
+            survivor
+                .step_interval(&state, &d, FanLevel::Off, 28.0, 0.1)
+                .unwrap();
+        }
+
+        let fresh_params = PlantPowerParams {
+            leakage_mismatch: 0.97,
+            initial_temp_c: 38.5,
+            ..PlantPowerParams::default()
+        };
+        batch.admit_lane(1, fresh_params);
+        assert_eq!(batch.core_temps_c(1), [38.5; 4]);
+        let mut fresh = PhysicalPlant::new(spec.clone(), fresh_params);
+
+        let mut batch_nodes = vec![0.0; batch.node_count()];
+        for i in 0..200 {
+            let steps = batch
+                .step_interval(&[input(&state), input(&state)], 0.1)
+                .unwrap();
+            let survivor_step = survivor
+                .step_interval(&state, &d, FanLevel::Off, 28.0, 0.1)
+                .unwrap();
+            let fresh_step = fresh
+                .step_interval(&state, &d, FanLevel::Off, 28.0, 0.1)
+                .unwrap();
+            for (lane, scalar_step) in [(0usize, &survivor_step), (1, &fresh_step)] {
+                let batch_step = steps[lane].as_ref().expect("lane step succeeds");
+                assert!(
+                    batch_step.core_temps_c.iter().all(|t| t.is_finite()),
+                    "lane {lane} produced non-finite temperatures at interval {i}"
+                );
+                assert!(
+                    (batch_step.platform_power_w - scalar_step.platform_power_w).abs() < 1e-9,
+                    "lane {lane} power diverged at interval {i}"
+                );
+            }
+        }
+        for (lane, scalar) in [(0usize, &survivor), (1, &fresh)] {
+            batch.node_temps_into(lane, &mut batch_nodes);
+            for (a, b) in batch_nodes.iter().zip(scalar.node_temps_c()) {
+                assert!(
+                    (a - b).abs() < 1e-9,
+                    "recycled-batch lane {lane} diverged: {a} vs {b}"
+                );
+            }
+        }
     }
 }

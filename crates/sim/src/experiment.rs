@@ -22,7 +22,8 @@ use soc_model::{ClusterKind, FanLevel, Frequency, PlatformState, PowerDomain, So
 use workload::{BenchmarkId, Demand, WorkloadState};
 
 use crate::calibrate::Calibration;
-use crate::plant::{PhysicalPlant, PlantPowerParams, PlantStep};
+use crate::engine::{LaneInput, PanelEngine, PlantEngine, ScalarEngine};
+use crate::plant::{PlantPowerParams, PlantStep};
 use crate::sensors::{SensorReadings, SensorSuite};
 use crate::trace::{Trace, TraceRecord};
 use crate::SimError;
@@ -414,12 +415,226 @@ impl ControlLoop {
     }
 }
 
+/// One engine lane's bookkeeping inside [`drive_engine`]: which result slot
+/// it reports to, its control loop while a scenario is in flight, and the
+/// frozen plant inputs replayed while the lane idles.
+struct LaneSlot {
+    /// Index into the caller's configuration (and result) order.
+    slot: usize,
+    /// `None` once the lane has retired its scenario (and no replacement was
+    /// admitted from the work queue).
+    control: Option<ControlLoop>,
+    /// This interval's decision, between decide and absorb.
+    decision: Option<IntervalDecision>,
+    /// The plant inputs replayed while the lane idles, captured once when
+    /// its scenario retires: the final platform state with idle demand and
+    /// the fan off (the finished scenario's platform cooling down). An idle
+    /// lane's results are already captured and engine lanes are strictly
+    /// isolated, so the replayed inputs only keep the engine call well
+    /// formed — they cannot perturb the surviving lanes' trajectories.
+    frozen: (PlatformState, Demand, FanLevel, f64),
+}
+
+impl LaneSlot {
+    /// A lane holding a freshly admitted control loop.
+    fn holding(slot: usize, control: ControlLoop) -> Self {
+        LaneSlot {
+            slot,
+            frozen: frozen_inputs(&control),
+            control: Some(control),
+            decision: None,
+        }
+    }
+}
+
+/// The idle-replay inputs captured when a lane's scenario retires: its final
+/// platform state winding down with idle demand and the fan off. Every
+/// retire site uses this one helper so retire-on-done and retire-on-error
+/// lanes idle identically.
+fn frozen_inputs(control: &ControlLoop) -> (PlatformState, Demand, FanLevel, f64) {
+    (
+        control.state.clone(),
+        Demand::idle(),
+        FanLevel::Off,
+        control.config.ambient_c,
+    )
+}
+
+/// One lane's engine inputs for the current interval: the decided inputs
+/// while a scenario is in flight, the frozen retire snapshot while it idles.
+fn lane_input(lane: &LaneSlot) -> LaneInput<'_> {
+    match (&lane.control, &lane.decision) {
+        (Some(control), Some(decision)) => LaneInput {
+            state: &control.state,
+            demand: &decision.demand,
+            fan_level: decision.fan_level,
+            ambient_c: control.config.ambient_c,
+        },
+        _ => LaneInput {
+            state: &lane.frozen.0,
+            demand: &lane.frozen.1,
+            fan_level: lane.frozen.2,
+            ambient_c: lane.frozen.3,
+        },
+    }
+}
+
+/// The unified control-loop executor: drives one [`ControlLoop`] per engine
+/// lane against any [`PlantEngine`] until every scenario has finished and
+/// the work queue is dry.
+///
+/// Per control interval the executor
+///
+/// 1. **retires** lanes whose scenario is done (publishing the result),
+///    **admits** a replacement scenario from `next` into each freed lane
+///    (retire → compact → admit; the lane restarts at the new scenario's
+///    initial state via [`PlantEngine::admit`]), and lets every live lane
+///    make its control decision,
+/// 2. advances the engine by one interval with per-lane inputs (idle lanes
+///    replay their frozen inputs), and
+/// 3. absorbs the per-lane plant steps back into the control loops.
+///
+/// Control decisions stay strictly per-lane; only the plant integration is
+/// delegated to the engine. [`Experiment::run`] is this function over a
+/// single-lane [`ScalarEngine`] with an empty queue, [`run_lockstep`] over a
+/// [`PanelEngine`] as wide as the configuration list, and the
+/// lane-compacting [`ScenarioSweep`] over per-worker engines refilled from
+/// a shared scenario queue.
+///
+/// Every lane's result is reported through `publish` exactly once, keyed by
+/// the slot index handed out by `next` (or pre-assigned in `lanes`);
+/// individual lane failures never abort the other lanes. An engine-level
+/// error (malformed call, lost device) is unattributable to one lane and is
+/// reported on every unfinished lane *and* every scenario remaining in the
+/// queue, so no result slot is ever left unfilled.
+fn drive_engine<E, N, P>(
+    engine: &mut E,
+    period_s: f64,
+    lanes: &mut [LaneSlot],
+    next: &mut N,
+    publish: &mut P,
+) where
+    E: PlantEngine,
+    N: FnMut() -> Option<(usize, ControlLoop)>,
+    P: FnMut(usize, Result<SimulationResult, SimError>),
+{
+    debug_assert_eq!(engine.lanes(), lanes.len(), "engine width matches lanes");
+    let mut steps: Vec<Result<PlantStep, SimError>> = Vec::with_capacity(lanes.len());
+    loop {
+        // Phase 1: retire → admit → decide, per lane.
+        let mut any_active = false;
+        for (index, lane) in lanes.iter_mut().enumerate() {
+            loop {
+                match lane.control.as_mut() {
+                    Some(control) if control.is_done() => {
+                        lane.frozen = frozen_inputs(control);
+                        let control = lane.control.take().expect("control is present");
+                        // The engine's per-lane accumulated energy is the
+                        // same integral the control loop publishes; hold the
+                        // two accountants to each other at retirement
+                        // (before any idle intervals accrue on the lane).
+                        debug_assert!(
+                            (engine.energy_j(index) - control.energy_j).abs()
+                                <= 1e-9 * control.energy_j.abs().max(1.0),
+                            "engine and control-loop energy bookkeeping diverged"
+                        );
+                        publish(lane.slot, Ok(control.finish()));
+                        // Fall through to the admission arm.
+                    }
+                    Some(control) => {
+                        match control.decide() {
+                            Ok(decision) => {
+                                lane.decision = Some(decision);
+                                any_active = true;
+                            }
+                            Err(e) => {
+                                lane.frozen = frozen_inputs(control);
+                                publish(lane.slot, Err(e));
+                                lane.control = None;
+                                // Retired on error: try to admit a
+                                // replacement scenario right away.
+                                continue;
+                            }
+                        }
+                        break;
+                    }
+                    None => match next() {
+                        Some((slot, control)) => {
+                            engine.admit(index, control.config.plant);
+                            lane.slot = slot;
+                            lane.control = Some(control);
+                            lane.decision = None;
+                            // `frozen` still holds the previous occupant's
+                            // retire snapshot; every retire path recaptures
+                            // it before this lane can idle again.
+                            // Loop back so the fresh scenario decides now.
+                        }
+                        None => break,
+                    },
+                }
+            }
+        }
+        if !any_active {
+            break;
+        }
+
+        // Phase 2: advance every engine lane one interval (frozen inputs for
+        // idle lanes). The single-lane case — the scalar `Experiment::run`
+        // hot path — borrows its one input on the stack, keeping that path
+        // allocation-free per interval as before the refactor.
+        let single_input;
+        let multi_inputs;
+        let inputs: &[LaneInput<'_>] = if let [lane] = &*lanes {
+            single_input = [lane_input(lane)];
+            &single_input
+        } else {
+            multi_inputs = lanes.iter().map(lane_input).collect::<Vec<_>>();
+            &multi_inputs
+        };
+        if let Err(e) = engine.step_interval(inputs, period_s, &mut steps) {
+            // An engine-level error (malformed call, lost device) cannot be
+            // attributed to one lane; report it on all unfinished lanes. The
+            // engine is unusable now, so the queue's remaining scenarios can
+            // never run here either — drain it with the same error so every
+            // result slot is filled.
+            for lane in lanes.iter_mut() {
+                if lane.control.take().is_some() {
+                    publish(lane.slot, Err(e.clone()));
+                }
+            }
+            while let Some((slot, _control)) = next() {
+                publish(slot, Err(e.clone()));
+            }
+            break;
+        }
+
+        // Phase 3: absorb per lane.
+        for (lane, step) in lanes.iter_mut().zip(steps.drain(..)) {
+            let Some(control) = lane.control.as_mut() else {
+                continue;
+            };
+            let Some(decision) = lane.decision.take() else {
+                continue;
+            };
+            match step {
+                Ok(step) => control.absorb(&decision, &step),
+                Err(e) => {
+                    lane.frozen = frozen_inputs(control);
+                    publish(lane.slot, Err(e));
+                    lane.control = None;
+                }
+            }
+        }
+    }
+}
+
 /// The closed-loop simulation of one benchmark run: a [`ControlLoop`] wired
-/// to its own scalar [`PhysicalPlant`].
+/// to a single-lane [`ScalarEngine`] and driven by the same generic executor
+/// as the batched and sweeping paths.
 #[derive(Debug)]
 pub struct Experiment {
     control: ControlLoop,
-    plant: PhysicalPlant,
+    engine: ScalarEngine,
 }
 
 impl Experiment {
@@ -433,8 +648,8 @@ impl Experiment {
     /// Returns [`SimError::InvalidConfig`] for non-physical timing parameters.
     pub fn new(config: &ExperimentConfig, calibration: &Calibration) -> Result<Self, SimError> {
         let control = ControlLoop::new(config, calibration)?;
-        let plant = PhysicalPlant::new(control.spec.clone(), config.plant);
-        Ok(Experiment { control, plant })
+        let engine = ScalarEngine::new(control.spec.clone(), &[config.plant]);
+        Ok(Experiment { control, engine })
     }
 
     /// Runs the experiment to completion and returns the result.
@@ -442,29 +657,45 @@ impl Experiment {
     /// # Errors
     ///
     /// Propagates plant, platform and DTPM errors.
-    pub fn run(mut self) -> Result<SimulationResult, SimError> {
-        while !self.control.is_done() {
-            let decision = self.control.decide()?;
-            let step = self.plant.step_interval(
-                &self.control.state,
-                &decision.demand,
-                decision.fan_level,
-                self.control.config.ambient_c,
-                self.control.config.control_period_s,
-            )?;
-            self.control.absorb(&decision, &step);
-        }
-        Ok(self.control.finish())
+    pub fn run(self) -> Result<SimulationResult, SimError> {
+        let Experiment {
+            control,
+            mut engine,
+        } = self;
+        let period_s = control.config.control_period_s;
+        let mut lanes = [LaneSlot::holding(0, control)];
+        let mut out = None;
+        drive_engine(
+            &mut engine,
+            period_s,
+            &mut lanes,
+            &mut || None,
+            &mut |_, result| out = Some(result),
+        );
+        out.expect("a single-lane run publishes exactly one result")
     }
 }
 
-/// Runs many independent experiment configurations across worker threads.
+/// Runs many independent experiment configurations across worker threads
+/// with a lane-compacting scheduler.
 ///
 /// Every configuration is a self-contained closed-loop simulation (own plant,
 /// sensors, workload and seed), so a sweep is embarrassingly parallel: the
 /// runner shares one [`Calibration`] across `std::thread::scope` workers that
-/// pull configurations from an atomic work queue. Results come back in input
-/// order and are identical to running each configuration sequentially.
+/// pull scenarios from a shared atomic work queue. With
+/// [`ScenarioSweep::with_lanes`] each worker drives a [`PanelEngine`] of that
+/// width and *recycles* its lanes: when a scenario finishes, the lane is
+/// retired, re-initialised and refilled with the next queued scenario
+/// (retire → compact → admit via [`PlantEngine::admit`]), so a ragged mix of
+/// short and long scenarios no longer serialises on the slowest member of a
+/// statically tiled lane-group — the batch stays dense until the queue runs
+/// dry. Results come back in input order; each scenario's trajectory is
+/// independent of which lane or worker it landed on (within the batched
+/// engine's ≤ 1e-9 °C equivalence bar — bit-identical for one-lane sweeps).
+///
+/// Scenarios must share a control period to step in lockstep; a sweep over
+/// mixed periods is partitioned into per-period groups that are processed
+/// one after another, each with the full worker pool.
 ///
 /// # Example
 ///
@@ -513,10 +744,10 @@ impl ScenarioSweep {
         self
     }
 
-    /// Sets the batch width: consecutive configurations are tiled into
-    /// lane-groups of this size and each group runs through the
-    /// structure-of-arrays [`crate::batch::BatchPlant`] in lockstep (see
-    /// [`run_lockstep`]), so total parallelism is `threads × lanes`. One lane
+    /// Sets the batch width: every worker drives a [`PanelEngine`] of this
+    /// many lanes through the structure-of-arrays
+    /// [`crate::batch::BatchPlant`], refilling freed lanes from the shared
+    /// scenario queue, so total parallelism is `threads × lanes`. One lane
     /// (the default) is the scalar per-scenario engine.
     pub fn with_lanes(mut self, lanes: usize) -> Self {
         self.lanes = lanes.max(1);
@@ -541,52 +772,50 @@ impl ScenarioSweep {
     /// Runs every configuration and returns one result per configuration, in
     /// input order. Individual failures do not abort the sweep.
     ///
-    /// Work is handed out as tiles of [`ScenarioSweep::lanes`] consecutive
-    /// configurations; each worker claims tiles from an atomic queue and
-    /// publishes results through per-slot [`std::sync::OnceLock`]s, so result
-    /// storage never serialises workers.
+    /// Scenarios are handed out one at a time from a shared atomic queue;
+    /// each worker admits them into the freed lanes of its engine as earlier
+    /// scenarios finish (see the type-level docs) and publishes results
+    /// through per-slot [`std::sync::OnceLock`]s, so result storage never
+    /// serialises workers.
     pub fn run(&self, calibration: &Calibration) -> Vec<Result<SimulationResult, SimError>> {
         let count = self.configs.len();
         if count == 0 {
             return Vec::new();
         }
-        let tile = self.lanes;
-        let tiles = count.div_ceil(tile);
         let slots: Vec<std::sync::OnceLock<Result<SimulationResult, SimError>>> =
             (0..count).map(|_| std::sync::OnceLock::new()).collect();
 
-        let run_tile = |index: usize| {
-            let start = index * tile;
-            let end = (start + tile).min(count);
-            let tile_configs = &self.configs[start..end];
-            let results = if tile_configs.len() == 1 {
-                vec![run_one(&tile_configs[0], calibration)]
-            } else {
-                run_lockstep(tile_configs, calibration)
-            };
-            for (offset, result) in results.into_iter().enumerate() {
-                assert!(
-                    slots[start + offset].set(result).is_ok(),
-                    "every sweep slot is written exactly once"
-                );
+        // Lockstep needs a shared control period: partition the scenario
+        // indices into per-period groups (almost always exactly one). Every
+        // worker sweeps the groups in order, draining each group's shared
+        // queue before flowing into the next, so a sweep over many distinct
+        // periods (e.g. a control-period sensitivity axis) still keeps the
+        // whole thread pool busy — workers that find a group's queue already
+        // drained skip ahead immediately.
+        let mut groups: Vec<(u64, Vec<usize>)> = Vec::new();
+        for (index, config) in self.configs.iter().enumerate() {
+            let bits = config.control_period_s.to_bits();
+            match groups.iter_mut().find(|(key, _)| *key == bits) {
+                Some((_, group)) => group.push(index),
+                None => groups.push((bits, vec![index])),
+            }
+        }
+        let cursors: Vec<std::sync::atomic::AtomicUsize> = groups
+            .iter()
+            .map(|_| std::sync::atomic::AtomicUsize::new(0))
+            .collect();
+
+        let worker = || {
+            for ((_, group), cursor) in groups.iter().zip(&cursors) {
+                self.drain_group(group, cursor, calibration, &slots);
             }
         };
-
         if self.threads == 1 {
-            for index in 0..tiles {
-                run_tile(index);
-            }
+            worker();
         } else {
-            let next = std::sync::atomic::AtomicUsize::new(0);
             std::thread::scope(|scope| {
-                for _ in 0..self.threads.min(tiles) {
-                    scope.spawn(|| loop {
-                        let index = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                        if index >= tiles {
-                            break;
-                        }
-                        run_tile(index);
-                    });
+                for _ in 0..self.threads.min(count) {
+                    scope.spawn(worker);
                 }
             });
         }
@@ -595,6 +824,72 @@ impl ScenarioSweep {
             .into_iter()
             .map(|slot| slot.into_inner().expect("every sweep slot is filled"))
             .collect()
+    }
+
+    /// One worker's pass over one shared-period group: claim scenarios from
+    /// the group's queue into a lane-compacting engine and drive them to
+    /// completion. Returns immediately if other workers already drained the
+    /// queue.
+    fn drain_group(
+        &self,
+        group: &[usize],
+        cursor: &std::sync::atomic::AtomicUsize,
+        calibration: &Calibration,
+        slots: &[std::sync::OnceLock<Result<SimulationResult, SimError>>],
+    ) {
+        let period_s = self.configs[group[0]].control_period_s;
+
+        // Pulls the next admissible scenario off the shared queue,
+        // publishing construction failures in place.
+        let mut next = || loop {
+            let k = cursor.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            let &slot = group.get(k)?;
+            match ControlLoop::new(&self.configs[slot], calibration) {
+                Ok(control) => return Some((slot, control)),
+                Err(e) => {
+                    assert!(
+                        slots[slot].set(Err(e)).is_ok(),
+                        "every sweep slot is written exactly once"
+                    );
+                }
+            }
+        };
+        let mut publish = |slot: usize, result: Result<SimulationResult, SimError>| {
+            assert!(
+                slots[slot].set(result).is_ok(),
+                "every sweep slot is written exactly once"
+            );
+        };
+
+        // Claim the initial lane-group; the engine is sized to what the
+        // queue could actually provide, so a near-empty queue never creates
+        // idle-from-birth lanes.
+        let mut claimed = Vec::with_capacity(self.lanes);
+        while claimed.len() < self.lanes {
+            match next() {
+                Some(admitted) => claimed.push(admitted),
+                None => break,
+            }
+        }
+        if claimed.is_empty() {
+            return;
+        }
+        let spec = SocSpec::odroid_xu_e();
+        let params: Vec<PlantPowerParams> = claimed
+            .iter()
+            .map(|(slot, _)| self.configs[*slot].plant)
+            .collect();
+        let mut lanes: Vec<LaneSlot> = claimed
+            .into_iter()
+            .map(|(slot, control)| LaneSlot::holding(slot, control))
+            .collect();
+        if self.lanes == 1 {
+            let mut engine = ScalarEngine::new(spec, &params);
+            drive_engine(&mut engine, period_s, &mut lanes, &mut next, &mut publish);
+        } else {
+            let mut engine = PanelEngine::new(spec, &params);
+            drive_engine(&mut engine, period_s, &mut lanes, &mut next, &mut publish);
+        }
     }
 }
 
@@ -605,30 +900,20 @@ fn run_one(
     Experiment::new(config, calibration)?.run()
 }
 
-/// One lane's bookkeeping inside [`run_lockstep`].
-struct LockstepLane {
-    /// Index into the caller's configuration (and result) order.
-    slot: usize,
-    /// `None` once the lane has finished (or failed) and reported.
-    control: Option<ControlLoop>,
-    /// This interval's decision, between decide and absorb.
-    decision: Option<IntervalDecision>,
-    /// The most recent plant inputs, replayed once the lane is done so the
-    /// batch can keep stepping the remaining lanes (results of a finished
-    /// lane are already captured; its plant state just keeps evolving).
-    frozen: (PlatformState, Demand, FanLevel, f64),
-}
-
-/// Runs the given configurations in lockstep on one [`BatchPlant`]: each
+/// Runs the given configurations in lockstep on one [`PanelEngine`]: each
 /// scenario keeps its own control loop (sensors, governors, policy, trace —
 /// decisions stay strictly per-lane) while the plant integration advances all
-/// lanes per instruction stream, one scenario per panel column.
+/// lanes per instruction stream, one scenario per panel column. The stepping
+/// logic itself is the shared [`drive_engine`] executor — the same code that
+/// runs a scalar [`Experiment`] — instantiated over the batched engine with
+/// as many lanes as configurations.
 ///
 /// Results come back in input order; individual failures do not abort the
 /// batch. Scenarios finishing early stay in the batch as frozen lanes until
-/// the slowest lane completes, so a tile of similar-length scenarios batches
-/// best. All configurations must share one `control_period_s`; mixed periods
-/// cannot step in lockstep and fall back to scalar per-scenario runs.
+/// the slowest lane completes (a [`ScenarioSweep`] avoids that tail by
+/// refilling freed lanes from its scenario queue). All configurations must
+/// share one `control_period_s`; mixed periods cannot step in lockstep and
+/// fall back to scalar per-scenario runs.
 pub fn run_lockstep(
     configs: &[ExperimentConfig],
     calibration: &Calibration,
@@ -636,10 +921,10 @@ pub fn run_lockstep(
     if configs.is_empty() {
         return Vec::new();
     }
-    let period = configs[0].control_period_s;
+    let period_s = configs[0].control_period_s;
     if configs
         .iter()
-        .any(|config| config.control_period_s != period)
+        .any(|config| config.control_period_s != period_s)
     {
         return configs
             .iter()
@@ -649,23 +934,12 @@ pub fn run_lockstep(
 
     let mut slots: Vec<Option<Result<SimulationResult, SimError>>> =
         (0..configs.len()).map(|_| None).collect();
-    let spec = SocSpec::odroid_xu_e();
-    let mut lanes: Vec<LockstepLane> = Vec::new();
+    let mut lanes: Vec<LaneSlot> = Vec::new();
     let mut lane_params = Vec::new();
     for (slot, config) in configs.iter().enumerate() {
         match ControlLoop::new(config, calibration) {
             Ok(control) => {
-                lanes.push(LockstepLane {
-                    slot,
-                    control: Some(control),
-                    decision: None,
-                    frozen: (
-                        PlatformState::default_for(&spec),
-                        Demand::idle(),
-                        FanLevel::Off,
-                        config.ambient_c,
-                    ),
-                });
+                lanes.push(LaneSlot::holding(slot, control));
                 lane_params.push(config.plant);
             }
             Err(e) => slots[slot] = Some(Err(e)),
@@ -673,93 +947,14 @@ pub fn run_lockstep(
     }
 
     if !lanes.is_empty() {
-        let mut plant = crate::batch::BatchPlant::new(spec, &lane_params);
-        loop {
-            // Decide per still-running lane (finish lanes that are done).
-            let mut any_active = false;
-            for lane in &mut lanes {
-                let Some(control) = lane.control.as_mut() else {
-                    continue;
-                };
-                if control.is_done() {
-                    let control = lane.control.take().expect("control is present");
-                    slots[lane.slot] = Some(Ok(control.finish()));
-                    continue;
-                }
-                match control.decide() {
-                    Ok(decision) => {
-                        lane.frozen = (
-                            control.state.clone(),
-                            decision.demand,
-                            decision.fan_level,
-                            control.config.ambient_c,
-                        );
-                        lane.decision = Some(decision);
-                        any_active = true;
-                    }
-                    Err(e) => {
-                        slots[lane.slot] = Some(Err(e));
-                        lane.control = None;
-                    }
-                }
-            }
-            if !any_active {
-                break;
-            }
-
-            // Advance every plant lane one interval (frozen inputs for lanes
-            // that already reported).
-            let inputs: Vec<crate::batch::BatchLaneInput<'_>> = lanes
-                .iter()
-                .map(|lane| match (&lane.control, &lane.decision) {
-                    (Some(control), Some(decision)) => crate::batch::BatchLaneInput {
-                        state: &control.state,
-                        demand: &decision.demand,
-                        fan_level: decision.fan_level,
-                        ambient_c: control.config.ambient_c,
-                    },
-                    _ => crate::batch::BatchLaneInput {
-                        state: &lane.frozen.0,
-                        demand: &lane.frozen.1,
-                        fan_level: lane.frozen.2,
-                        ambient_c: lane.frozen.3,
-                    },
-                })
-                .collect();
-            let steps = match plant.step_interval(&inputs, period) {
-                Ok(steps) => steps,
-                Err(e) => {
-                    // A batch-level error (malformed call) cannot be
-                    // attributed to one lane; report it on all unfinished
-                    // lanes and stop.
-                    drop(inputs);
-                    for lane in &mut lanes {
-                        if lane.control.take().is_some() {
-                            slots[lane.slot] = Some(Err(e.clone()));
-                        }
-                    }
-                    break;
-                }
-            };
-            drop(inputs);
-
-            // Absorb per lane.
-            for (lane, step) in lanes.iter_mut().zip(steps) {
-                let Some(control) = lane.control.as_mut() else {
-                    continue;
-                };
-                let Some(decision) = lane.decision.take() else {
-                    continue;
-                };
-                match step {
-                    Ok(step) => control.absorb(&decision, &step),
-                    Err(e) => {
-                        slots[lane.slot] = Some(Err(e));
-                        lane.control = None;
-                    }
-                }
-            }
-        }
+        let mut engine = PanelEngine::new(SocSpec::odroid_xu_e(), &lane_params);
+        drive_engine(
+            &mut engine,
+            period_s,
+            &mut lanes,
+            &mut || None,
+            &mut |slot, result| slots[slot] = Some(result),
+        );
     }
 
     slots

@@ -1,0 +1,193 @@
+//! Correctness of the lane-compacting sweep scheduler.
+//!
+//! A [`ScenarioSweep`] recycles engine lanes: when a scenario finishes, its
+//! lane is re-initialised and refilled with the next queued scenario, so a
+//! ragged mix of short and long scenarios keeps every lane busy. These tests
+//! pin down that recycling is invisible in the results: every scenario's
+//! outcome lands in input order and matches the same scenario run alone
+//! through the scalar [`Experiment`] — to ≤ 1e-9 °C on the trajectory —
+//! regardless of thread count, lane width, scenario lengths, or which
+//! (possibly recycled) lane a scenario happened to land on.
+
+use platform_sim::{
+    Calibration, CalibrationCampaign, Experiment, ExperimentConfig, ExperimentKind, ScenarioSweep,
+    SimulationResult,
+};
+use proptest::prelude::*;
+use workload::BenchmarkId;
+
+fn calibration() -> &'static Calibration {
+    static CALIBRATION: std::sync::OnceLock<Calibration> = std::sync::OnceLock::new();
+    CALIBRATION.get_or_init(|| {
+        CalibrationCampaign {
+            prbs_duration_s: 120.0,
+            run_furnace: false,
+            ..CalibrationCampaign::default()
+        }
+        .run(29)
+        .expect("calibration campaign must succeed")
+    })
+}
+
+/// A ragged scenario: unique seed per slot (so result order is provable),
+/// ideal sensors (so trace temperatures are the true plant temperatures and
+/// a ≤ 1e-9 °C trajectory comparison is meaningful), duration in seconds.
+fn ragged_config(i: usize, duration_s: f64) -> ExperimentConfig {
+    let kinds = [
+        ExperimentKind::WithoutFan,
+        ExperimentKind::DefaultWithFan,
+        ExperimentKind::Reactive,
+        ExperimentKind::Dtpm,
+    ];
+    let benchmarks = [
+        BenchmarkId::Crc32,
+        BenchmarkId::Qsort,
+        BenchmarkId::Dijkstra,
+    ];
+    let mut config =
+        ExperimentConfig::new(kinds[i % kinds.len()], benchmarks[i % benchmarks.len()])
+            .with_seed(500 + i as u64);
+    config.max_duration_s = duration_s;
+    config.ideal_sensors = true;
+    config
+}
+
+/// Asserts that a sweep result matches the scalar run of the same
+/// configuration: identical discrete outcome, trajectory within 1e-9 °C.
+fn assert_matches_scalar(result: &SimulationResult, label: &str) {
+    let scalar = Experiment::new(&result.config, calibration())
+        .expect("scalar experiment builds")
+        .run()
+        .expect("scalar experiment runs");
+    assert_eq!(result.completed, scalar.completed, "{label}: completed");
+    assert_eq!(
+        result.execution_time_s, scalar.execution_time_s,
+        "{label}: execution time"
+    );
+    assert_eq!(
+        result.trace.len(),
+        scalar.trace.len(),
+        "{label}: trace length"
+    );
+    for (k, (a, b)) in result
+        .trace
+        .records()
+        .iter()
+        .zip(scalar.trace.records())
+        .enumerate()
+    {
+        for (x, y) in a.core_temps_c.iter().zip(b.core_temps_c.iter()) {
+            assert!(
+                (x - y).abs() < 1e-9,
+                "{label}: interval {k} core temp diverged: {x} vs {y}"
+            );
+        }
+        assert_eq!(
+            a.frequency_mhz, b.frequency_mhz,
+            "{label}: interval {k} frequency"
+        );
+    }
+    assert!(
+        (result.energy_j - scalar.energy_j).abs() <= 1e-6 * scalar.energy_j.abs().max(1.0),
+        "{label}: energy {} vs {}",
+        result.energy_j,
+        scalar.energy_j
+    );
+}
+
+proptest! {
+    #[test]
+    fn ragged_sweeps_match_scalar_runs_for_any_shape(
+        threads in 1usize..4,
+        lanes in 1usize..5,
+        count in 1usize..11,
+        short_s in 1.0f64..2.5,
+        long_s in 2.5f64..6.0,
+    ) {
+        // Arbitrary differing lengths: every third scenario is long, the
+        // rest short, so any count > lanes·threads forces lane recycling
+        // while long lanes are still in flight.
+        let configs: Vec<ExperimentConfig> = (0..count)
+            .map(|i| ragged_config(i, if i % 3 == 0 { long_s } else { short_s }))
+            .collect();
+        let results = ScenarioSweep::new(configs.clone())
+            .with_threads(threads)
+            .with_lanes(lanes)
+            .run(calibration());
+        prop_assert_eq!(results.len(), configs.len());
+        for (i, (config, result)) in configs.iter().zip(&results).enumerate() {
+            let result = result.as_ref().expect("sweep run must succeed");
+            // Seeds are unique per input slot, so config equality pins order.
+            prop_assert_eq!(&result.config, config);
+            assert_matches_scalar(
+                result,
+                &format!("threads={threads} lanes={lanes} count={count} slot={i}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn recycled_lanes_reproduce_scalar_trajectories() {
+    // The canonical ragged mix: one long scenario pins a lane while seven
+    // short ones churn through the remaining lanes of a single worker —
+    // every short lane after the first two is a recycled (retired →
+    // admitted) lane.
+    let mut configs = vec![ragged_config(0, 12.0)];
+    configs.extend((1..8).map(|i| ragged_config(i, 2.0)));
+    let results = ScenarioSweep::new(configs.clone())
+        .with_threads(1)
+        .with_lanes(3)
+        .run(calibration());
+    assert_eq!(results.len(), configs.len());
+    for (i, (config, result)) in configs.iter().zip(&results).enumerate() {
+        let result = result.as_ref().expect("sweep run must succeed");
+        assert_eq!(&result.config, config);
+        assert_matches_scalar(result, &format!("ragged slot {i}"));
+    }
+}
+
+#[test]
+fn sweeps_over_mixed_control_periods_group_and_complete() {
+    // Scenarios with different control periods cannot share a lockstep
+    // batch; the sweep partitions them into per-period groups and still
+    // returns everything in input order.
+    let mut configs = Vec::new();
+    for i in 0..6 {
+        let mut config = ragged_config(i, 2.0);
+        config.control_period_s = if i % 2 == 0 { 0.1 } else { 0.2 };
+        configs.push(config);
+    }
+    let results = ScenarioSweep::new(configs.clone())
+        .with_threads(2)
+        .with_lanes(2)
+        .run(calibration());
+    assert_eq!(results.len(), configs.len());
+    for (i, (config, result)) in configs.iter().zip(&results).enumerate() {
+        let result = result.as_ref().expect("sweep run must succeed");
+        assert_eq!(&result.config, config, "slot {i} out of order");
+        assert_matches_scalar(result, &format!("mixed-period slot {i}"));
+    }
+}
+
+#[test]
+fn failing_scenarios_do_not_disturb_their_lane_mates() {
+    // An invalid configuration (non-physical timing) fails at admission;
+    // the scenarios sharing its worker and queue must be unaffected.
+    let mut configs: Vec<ExperimentConfig> = (0..5).map(|i| ragged_config(i, 2.0)).collect();
+    configs[2].max_duration_s = 0.05; // below the control period: rejected
+    let results = ScenarioSweep::new(configs.clone())
+        .with_threads(1)
+        .with_lanes(2)
+        .run(calibration());
+    assert_eq!(results.len(), configs.len());
+    for (i, result) in results.iter().enumerate() {
+        if i == 2 {
+            assert!(result.is_err(), "invalid scenario must report its error");
+        } else {
+            let result = result.as_ref().expect("valid scenario must succeed");
+            assert_eq!(&result.config, &configs[i]);
+            assert_matches_scalar(result, &format!("fault-isolation slot {i}"));
+        }
+    }
+}

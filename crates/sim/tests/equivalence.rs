@@ -16,8 +16,8 @@
 //! trajectory (sensor quantisation alone is 0.1 °C).
 
 use platform_sim::{
-    run_lockstep, BatchLaneInput, BatchPlant, CalibrationCampaign, Experiment, ExperimentConfig,
-    ExperimentKind, NaivePhysicalPlant, PhysicalPlant, PlantPowerParams, ScenarioSweep,
+    run_lockstep, BatchPlant, CalibrationCampaign, Experiment, ExperimentConfig, ExperimentKind,
+    LaneInput, NaivePhysicalPlant, PhysicalPlant, PlantPowerParams, ScenarioSweep,
 };
 use proptest::prelude::*;
 use soc_model::{ClusterKind, FanLevel, Frequency, PlatformState, SocSpec};
@@ -217,9 +217,9 @@ fn batch_plant_matches_scalar_trajectories_for_mixed_lane_counts() {
                     (state, fan, demand_phase(i + lane))
                 })
                 .collect();
-            let inputs: Vec<BatchLaneInput<'_>> = lane_inputs
+            let inputs: Vec<LaneInput<'_>> = lane_inputs
                 .iter()
-                .map(|(state, fan, demand)| BatchLaneInput {
+                .map(|(state, fan, demand)| LaneInput {
                     state,
                     demand,
                     fan_level: *fan,
@@ -245,8 +245,9 @@ fn batch_plant_matches_scalar_trajectories_for_mixed_lane_counts() {
             }
         }
 
+        let mut batch_temps = vec![0.0; batch.node_count()];
         for (lane, scalar) in scalars.iter().enumerate() {
-            let batch_temps = batch.node_temps_c(lane);
+            batch.node_temps_into(lane, &mut batch_temps);
             for (node, (a, b)) in batch_temps
                 .iter()
                 .zip(scalar.node_temps_c().iter())

@@ -691,6 +691,30 @@ impl BatchStepTransition {
         self.n
     }
 
+    /// The transition matrix `R` (row-major `n × n`).
+    ///
+    /// Together with [`BatchStepTransition::s_power`] and
+    /// [`BatchStepTransition::ambient_drive`] this exposes the complete
+    /// affine micro-step `T⁺ = R·T + S_p·p + c` as borrowed views, so an
+    /// alternative `PlantEngine` backend (a GPU kernel over device buffers,
+    /// a different SoA layout) can consume the precomputed per-step math
+    /// without going through the CPU [`Panel`] apply paths.
+    pub fn r(&self) -> &Matrix {
+        &self.r
+    }
+
+    /// The power-injection matrix `S·diag(1/C)` (row-major `n × n`), applied
+    /// to the raw per-node power vector (see [`BatchStepTransition::r`]).
+    pub fn s_power(&self) -> &Matrix {
+        &self.s_power
+    }
+
+    /// The constant ambient drive `S·(1/C ⊙ G_amb·T_amb)` (length `n`, see
+    /// [`BatchStepTransition::r`]).
+    pub fn ambient_drive(&self) -> &[f64] {
+        &self.ambient_drive
+    }
+
     /// Advances every lane of `temps` by one micro-step with the per-lane
     /// node power injections in `powers`, using `tmp` as scratch (its
     /// contents are overwritten; after the call `temps` holds the new
@@ -839,6 +863,13 @@ impl ExynosThermalNetwork {
     /// The underlying RC network without any fan contribution.
     pub fn network(&self) -> &ThermalNetwork {
         &self.network
+    }
+
+    /// Number of nodes in the plant model (convenience for
+    /// `self.network().node_count()`, which every engine backend needs to
+    /// size its temperature and power state).
+    pub fn node_count(&self) -> usize {
+        self.network.node_count()
     }
 
     /// The fan's contribution as a [`FanBoost`] step parameter for
