@@ -51,7 +51,7 @@ fn bench_decision(c: &mut Criterion) {
         ("last_resort_above_constraint", [66.0, 65.8, 66.1, 65.9]),
     ] {
         group.bench_function(label, |b| {
-            let mut policy = DtpmPolicy::new(DtpmConfig::default(), predictor());
+            let policy = DtpmPolicy::new(DtpmConfig::default(), predictor()).unwrap();
             b.iter(|| {
                 let decision = policy
                     .decide(

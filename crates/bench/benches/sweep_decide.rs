@@ -1,0 +1,311 @@
+//! Wall-clock benchmark of the batched two-phase control decision.
+//!
+//! PRs 1–3 batched the plant integrator, so on a lockstep sweep the
+//! per-interval `decide` became the dominant scalar fraction (Amdahl): every
+//! lane used to iterate the discrete thermal model `horizon` times — two
+//! mat-vecs per step, per lane, per interval. The two-phase decide replaces
+//! that with one fused panel application of the precomputed horizon map
+//! `(Aₙ, Bₙ)` classifying **all** lanes at once; only lanes predicted to
+//! violate fall through to the scalar actuation walk.
+//!
+//! The workload is control-heavy by construction — a long prediction horizon
+//! (32 steps, vs the paper's 10) over a sweep-wide lane group — i.e. the
+//! regime where the prediction pre-pass dominated. Both arms run the *full*
+//! decision (proposal power vector, classification, affirm-or-actuate
+//! resolution) on identical inputs:
+//!
+//! * **per-lane scalar** — the pre-PR path: each lane classifies through
+//!   [`ThermalPredictor::predict_peak_iterated`], the `horizon`-length model
+//!   loop.
+//! * **batched two-phase** — every lane's proposal assembled into one
+//!   [`BatchPredictor`] panel, one prediction for the whole group.
+//!
+//! The acceptance bar is ≥ 1.5× decisions/s for the batched arm, asserted as
+//! a floor in the full (non `--test`) run; measured numbers land in
+//! `BENCH_sweep_decide.json` together with an end-to-end control-heavy
+//! `run_lockstep` sweep for context.
+
+use std::time::{Duration, Instant};
+
+use dtpm::{BatchPredictor, DtpmAction, DtpmConfig, DtpmInputs, DtpmPolicy};
+use platform_sim::{run_lockstep, CalibrationCampaign, ExperimentConfig, ExperimentKind};
+use power_model::{DomainPower, PowerModel};
+use soc_model::{Frequency, PlatformState, PowerDomain, SocSpec, Voltage};
+use workload::BenchmarkId;
+
+/// Scenario lanes advanced per instruction stream (the sweep batch width).
+const LANES: usize = 8;
+/// Prediction horizon in control intervals: control-heavy (the paper's
+/// configuration uses 10).
+const HORIZON: usize = 32;
+/// Control period of the end-to-end sweep, seconds (10 ms: ten times the
+/// paper's rate, so decisions dominate the sweep).
+const CONTROL_PERIOD_S: f64 = 0.01;
+/// Acceptance floor: batched two-phase over per-lane scalar decisions/s.
+const SPEEDUP_FLOOR: f64 = 1.5;
+
+/// A run-time power model trained like a warm sweep's (heavy big-cluster
+/// activity, light GPU/memory observations).
+fn trained_power_model() -> PowerModel {
+    let mut model = PowerModel::exynos5410_defaults();
+    let v = Voltage::from_volts(1.2);
+    let f = Frequency::from_mhz(1600);
+    for _ in 0..20 {
+        model.observe(PowerDomain::BigCpu, 3.8, 58.0, v, f);
+    }
+    for _ in 0..5 {
+        model.observe(
+            PowerDomain::Gpu,
+            0.15,
+            55.0,
+            Voltage::from_volts(0.85),
+            Frequency::from_mhz(177),
+        );
+        model.observe(
+            PowerDomain::Memory,
+            0.35,
+            55.0,
+            Voltage::from_volts(1.0),
+            Frequency::from_mhz(800),
+        );
+    }
+    model
+}
+
+/// Per-lane measured temperatures: a steady-state mix — most lanes cruising
+/// below the constraint (affirmed), one lane per group near it (pays the
+/// actuation walk), mirroring "violations are rare" on a real sweep.
+fn lane_temps(lane: usize) -> [f64; 4] {
+    if lane == LANES - 1 {
+        [62.8, 62.3, 63.3, 62.6]
+    } else {
+        let base = 48.0 + lane as f64 * 1.1;
+        [base, base - 0.7, base + 0.4, base - 0.3]
+    }
+}
+
+fn lane_power(lane: usize) -> DomainPower {
+    DomainPower::new(3.4 + 0.05 * lane as f64, 0.04, 0.15, 0.4)
+}
+
+/// Best-of-N wall clock for a closure returning a decision count.
+fn best_of<F: FnMut() -> usize>(passes: usize, mut run: F) -> (Duration, usize) {
+    let mut best = Duration::MAX;
+    let mut decisions = 0;
+    for _ in 0..passes {
+        let start = Instant::now();
+        decisions = run();
+        let elapsed = start.elapsed();
+        if elapsed < best {
+            best = elapsed;
+        }
+    }
+    (best, decisions)
+}
+
+fn main() {
+    let test_mode = std::env::args().any(|a| a == "--test");
+    let intervals = if test_mode { 200 } else { 20_000 };
+    let passes = if test_mode { 1 } else { 5 };
+
+    let calibration = CalibrationCampaign {
+        prbs_duration_s: 120.0,
+        run_furnace: false,
+        ..CalibrationCampaign::default()
+    }
+    .run(37)
+    .expect("calibration campaign must succeed");
+    let spec = SocSpec::odroid_xu_e();
+    let power_model = trained_power_model();
+    let dtpm_config = DtpmConfig {
+        prediction_horizon_steps: HORIZON,
+        ..DtpmConfig::default()
+    };
+
+    // One policy per lane, cloned from the shared calibration predictor —
+    // exactly how a lockstep sweep builds its control loops. The clones
+    // share one precomputed horizon map through the predictor's cache.
+    let policies: Vec<DtpmPolicy> = (0..LANES)
+        .map(|_| {
+            DtpmPolicy::new(dtpm_config, calibration.predictor.clone())
+                .expect("valid configuration")
+        })
+        .collect();
+    let inputs: Vec<DtpmInputs<'_>> = (0..LANES)
+        .map(|lane| DtpmInputs {
+            spec: &spec,
+            proposed: PlatformState::default_for(&spec),
+            core_temps_c: lane_temps(lane),
+            measured_power: lane_power(lane),
+        })
+        .collect();
+
+    // Cross-check once, outside the timed loops: the batched classification
+    // must reproduce the scalar (iterated-predictor) decisions exactly on
+    // this input set, the cool lanes must affirm and the hot lane must
+    // exercise the actuation walk.
+    let mut batch = BatchPredictor::new(
+        std::sync::Arc::clone(policies[0].horizon_map()),
+        calibration.predictor.ambient_c(),
+        LANES,
+    )
+    .expect("hotspot-shaped map");
+    let mut lane_powers: Vec<DomainPower> = vec![DomainPower::default(); LANES];
+    for (lane, (policy, input)) in policies.iter().zip(&inputs).enumerate() {
+        let powers = policy
+            .proposal_powers(input, &power_model)
+            .expect("proposal powers");
+        batch.set_lane(lane, input.core_temps_c, &powers);
+        lane_powers[lane] = powers;
+    }
+    batch.predict();
+    for (lane, (policy, input)) in policies.iter().zip(&inputs).enumerate() {
+        let batched = policy
+            .resolve(input, &power_model, &lane_powers[lane], batch.peak_c(lane))
+            .expect("decision resolves");
+        let scalar_peak = policy
+            .predictor()
+            .predict_peak_iterated(input.core_temps_c, &lane_powers[lane], HORIZON)
+            .expect("iterated prediction");
+        let scalar = policy
+            .resolve(input, &power_model, &lane_powers[lane], scalar_peak)
+            .expect("decision resolves");
+        assert_eq!(batched.action, scalar.action, "lane {lane} diverged");
+        assert!(
+            (batched.predicted_peak_c - scalar.predicted_peak_c).abs() <= 1e-12,
+            "lane {lane} peaks diverged beyond the equivalence bar"
+        );
+        assert_eq!(
+            batched.action == DtpmAction::Affirmed,
+            lane != LANES - 1,
+            "steady state must affirm the cool lanes and throttle the hot one"
+        );
+    }
+
+    // Arm A — per-lane scalar (the pre-PR decide): iterated horizon loop
+    // per lane, then the affirm-or-actuate resolution.
+    let (scalar_wall, scalar_decisions) = best_of(passes, || {
+        for _ in 0..intervals {
+            for (policy, input) in policies.iter().zip(&inputs) {
+                let powers = policy
+                    .proposal_powers(input, &power_model)
+                    .expect("proposal powers");
+                let peak = policy
+                    .predictor()
+                    .predict_peak_iterated(input.core_temps_c, &powers, HORIZON)
+                    .expect("iterated prediction");
+                std::hint::black_box(
+                    policy
+                        .resolve(input, &power_model, &powers, peak)
+                        .expect("decision resolves"),
+                );
+            }
+        }
+        intervals * LANES
+    });
+
+    // Arm B — batched two-phase: every lane's proposal classified by one
+    // fused panel prediction; only violating lanes walk the actuation list.
+    let (batched_wall, batched_decisions) = best_of(passes, || {
+        for _ in 0..intervals {
+            for (lane, (policy, input)) in policies.iter().zip(&inputs).enumerate() {
+                let powers = policy
+                    .proposal_powers(input, &power_model)
+                    .expect("proposal powers");
+                batch.set_lane(lane, input.core_temps_c, &powers);
+                lane_powers[lane] = powers;
+            }
+            batch.predict();
+            for (lane, (policy, input)) in policies.iter().zip(&inputs).enumerate() {
+                std::hint::black_box(
+                    policy
+                        .resolve(input, &power_model, &lane_powers[lane], batch.peak_c(lane))
+                        .expect("decision resolves"),
+                );
+            }
+        }
+        intervals * LANES
+    });
+
+    // End-to-end context: a control-heavy lockstep sweep through the real
+    // executor (batched plant + batched two-phase decide).
+    let sweep_configs: Vec<ExperimentConfig> = (0..LANES)
+        .map(|i| {
+            let mut config = ExperimentConfig::new(ExperimentKind::Dtpm, BenchmarkId::MatrixMult)
+                .with_seed(1200 + i as u64);
+            config.control_period_s = CONTROL_PERIOD_S;
+            config.max_duration_s = if test_mode { 0.5 } else { 8.0 };
+            config.dtpm = dtpm_config;
+            config
+        })
+        .collect();
+    let sweep_start = Instant::now();
+    let sweep_results = run_lockstep(&sweep_configs, &calibration);
+    let sweep_wall = sweep_start.elapsed();
+    let sweep_decisions: usize = sweep_results
+        .iter()
+        .map(|r| r.as_ref().expect("sweep scenario succeeds").trace.len())
+        .sum();
+
+    let scalar_per_s = scalar_decisions as f64 / scalar_wall.as_secs_f64();
+    let batched_per_s = batched_decisions as f64 / batched_wall.as_secs_f64();
+    let speedup = batched_per_s / scalar_per_s;
+    let sweep_per_s = sweep_decisions as f64 / sweep_wall.as_secs_f64();
+    println!(
+        "sweep_decide/scalar_decisions_per_s      {scalar_per_s:>14.0} \
+         ({LANES} lanes, horizon {HORIZON})"
+    );
+    println!("sweep_decide/batched_decisions_per_s     {batched_per_s:>14.0}");
+    println!(
+        "sweep_decide/speedup_vs_scalar           {speedup:>14.2}x \
+         (acceptance floor: >= {SPEEDUP_FLOOR}x)"
+    );
+    println!(
+        "sweep_decide/e2e_lockstep_sweep          {:>14.2} ms \
+         ({sweep_decisions} decisions, {sweep_per_s:.0}/s)",
+        sweep_wall.as_secs_f64() * 1e3
+    );
+
+    if !test_mode {
+        write_bench_json(
+            scalar_per_s,
+            batched_per_s,
+            speedup,
+            &sweep_wall,
+            sweep_per_s,
+        );
+        // Regression guard: asserted only on the full run — the --test smoke
+        // run is too short to measure meaningfully.
+        assert!(
+            speedup >= SPEEDUP_FLOOR,
+            "batched two-phase decide regressed to {speedup:.2}x over the \
+             per-lane scalar path (floor: {SPEEDUP_FLOOR}x)"
+        );
+    }
+}
+
+/// Records the measured numbers for tracking (`BENCH_sweep_decide.json`).
+fn write_bench_json(
+    scalar_per_s: f64,
+    batched_per_s: f64,
+    speedup: f64,
+    sweep_wall: &Duration,
+    sweep_per_s: f64,
+) {
+    let sweep_ms = sweep_wall.as_secs_f64() * 1e3;
+    let json = format!(
+        "{{\n  \"bench\": \"sweep_decide\",\n  \"lanes\": {LANES},\n  \
+         \"horizon\": {HORIZON},\n  \
+         \"control_period_s\": {CONTROL_PERIOD_S},\n  \
+         \"scalar_decisions_per_s\": {scalar_per_s:.0},\n  \
+         \"batched_decisions_per_s\": {batched_per_s:.0},\n  \
+         \"speedup_vs_scalar\": {speedup:.3},\n  \
+         \"floor\": {SPEEDUP_FLOOR},\n  \
+         \"e2e_lockstep_wall_ms\": {sweep_ms:.2},\n  \
+         \"e2e_decisions_per_s\": {sweep_per_s:.0}\n}}\n"
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sweep_decide.json");
+    if let Err(e) = std::fs::write(path, json) {
+        eprintln!("warning: could not write {path}: {e}");
+    }
+}

@@ -42,7 +42,7 @@
 //! ]).unwrap();
 //! let model = DiscreteThermalModel::new(a, b, 0.1).unwrap();
 //! let predictor = ThermalPredictor::new(model, spec.ambient_c())?;
-//! let mut policy = DtpmPolicy::new(DtpmConfig::default(), predictor);
+//! let policy = DtpmPolicy::new(DtpmConfig::default(), predictor)?;
 //!
 //! let power_model = PowerModel::exynos5410_defaults();
 //! let proposed = PlatformState::default_for(&spec);
@@ -68,6 +68,7 @@ pub mod budget;
 pub mod config;
 pub mod distribution;
 pub mod error;
+pub mod panel_predictor;
 pub mod policy;
 pub mod predictor;
 
@@ -75,5 +76,7 @@ pub use budget::PowerBudget;
 pub use config::DtpmConfig;
 pub use distribution::{distribute_budget, DistributionMethod, DistributionResult, ResourceLoad};
 pub use error::DtpmError;
+pub use panel_predictor::BatchPredictor;
 pub use policy::{DtpmAction, DtpmDecision, DtpmInputs, DtpmPolicy};
-pub use predictor::{PredictorScratch, ThermalPredictor};
+pub use predictor::ThermalPredictor;
+pub use thermal_model::HorizonMap;

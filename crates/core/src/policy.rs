@@ -14,14 +14,16 @@
 //!    active, drop its frequency one level — these have the largest
 //!    performance impact, so they come last.
 
-use numeric::Matrix;
+use std::sync::Arc;
+
 use power_model::{DomainPower, PowerModel};
 use serde::{Deserialize, Serialize};
 use soc_model::{ClusterKind, Frequency, PlatformState, PowerDomain, SocSpec};
+use thermal_model::HorizonMap;
 
 use crate::budget::PowerBudget;
 use crate::config::DtpmConfig;
-use crate::predictor::{PredictorScratch, ThermalPredictor, HOTSPOT_COUNT};
+use crate::predictor::{ThermalPredictor, HOTSPOT_COUNT};
 use crate::DtpmError;
 
 /// Everything the policy sees at one control interval.
@@ -81,23 +83,25 @@ pub struct DtpmDecision {
 
 /// The predictive DTPM policy.
 ///
-/// The policy owns the scratch buffers of its prediction path and caches the
-/// horizon matrices `(Aₙ, Bₙ)` of the power-budget computation, so a decision
-/// is allocation-free in steady state (the paper's "negligible overhead"
-/// in-kernel requirement).
+/// The policy holds the precomputed one-shot horizon map `(Aₙ, Bₙ)` of its
+/// configured prediction horizon (shared through the predictor's cache, so
+/// the K cloned policies of a lockstep sweep all hold the *same* map), which
+/// serves both the per-interval violation pre-check — one affine application
+/// instead of a `horizon`-length model loop — and the power-budget
+/// computation. A decision is allocation-free and, in the affirmed steady
+/// state, horizon-independent (the paper's "negligible overhead" in-kernel
+/// requirement).
 #[derive(Debug, Clone)]
 pub struct DtpmPolicy {
     config: DtpmConfig,
     predictor: ThermalPredictor,
-    scratch: PredictorScratch,
-    /// `(horizon, Aₙ, Bₙ)` from the last budget computation; recomputed only
-    /// when the configured horizon changes.
-    horizon_cache: Option<(usize, Matrix, Matrix)>,
+    /// The one-shot horizon map for `config.prediction_horizon_steps`.
+    map: Arc<HorizonMap>,
 }
 
 /// Two policies are equal when they would make the same decisions: the
-/// scratch buffers and the derived horizon cache are deliberately excluded
-/// (they only record that a policy has already run).
+/// horizon map is derived state (fixed by the configuration and the
+/// predictor) and deliberately excluded.
 impl PartialEq for DtpmPolicy {
     fn eq(&self, other: &Self) -> bool {
         self.config == other.config && self.predictor == other.predictor
@@ -106,17 +110,21 @@ impl PartialEq for DtpmPolicy {
 
 impl DtpmPolicy {
     /// Creates a policy from its configuration and an identified thermal
-    /// predictor.
+    /// predictor, validating the configuration and precomputing the horizon
+    /// map once — [`DtpmPolicy::decide`] never re-derives either.
     ///
-    /// The configuration is validated lazily in [`DtpmPolicy::decide`]; use
-    /// [`DtpmConfig::validate`] to check it eagerly.
-    pub fn new(config: DtpmConfig, predictor: ThermalPredictor) -> Self {
-        DtpmPolicy {
+    /// # Errors
+    ///
+    /// Returns [`DtpmError::InvalidConfig`] for a non-physical configuration
+    /// (see [`DtpmConfig::validate`]).
+    pub fn new(config: DtpmConfig, predictor: ThermalPredictor) -> Result<Self, DtpmError> {
+        config.validate()?;
+        let map = predictor.horizon_map(config.prediction_horizon_steps)?;
+        Ok(DtpmPolicy {
             config,
             predictor,
-            scratch: PredictorScratch::default(),
-            horizon_cache: None,
-        }
+            map,
+        })
     }
 
     /// The policy configuration.
@@ -127,6 +135,19 @@ impl DtpmPolicy {
     /// The thermal predictor.
     pub fn predictor(&self) -> &ThermalPredictor {
         &self.predictor
+    }
+
+    /// The precomputed one-shot horizon map of the configured prediction
+    /// horizon — what a batched classifier ([`crate::BatchPredictor`])
+    /// applies to predict many lanes at once.
+    pub fn horizon_map(&self) -> &Arc<HorizonMap> {
+        &self.map
+    }
+
+    /// The effective temperature constraint the policy classifies against:
+    /// the configured constraint minus the prediction safety margin, °C.
+    pub fn effective_constraint_c(&self) -> f64 {
+        self.config.temperature_constraint_c - self.config.prediction_margin_c
     }
 
     /// Predicted total power of the active cluster at a candidate frequency,
@@ -186,36 +207,72 @@ impl DtpmPolicy {
         Ok(powers)
     }
 
-    /// Makes the DTPM decision for one control interval.
+    /// Makes the DTPM decision for one control interval: predicts the
+    /// proposal's outcome and resolves the decision ([`DtpmPolicy::resolve`]).
     ///
     /// # Errors
     ///
-    /// Returns an error for an invalid configuration, a malformed proposed
-    /// state (frequency not in the OPP tables), or thermal-model failures.
+    /// Returns an error for a malformed proposed state (frequency not in the
+    /// OPP tables) or thermal-model failures.
     pub fn decide(
-        &mut self,
+        &self,
         inputs: &DtpmInputs<'_>,
         power_model: &PowerModel,
     ) -> Result<DtpmDecision, DtpmError> {
-        self.config.validate()?;
-        let spec = inputs.spec;
-        let horizon = self.config.prediction_horizon_steps;
-        let constraint = self.config.temperature_constraint_c - self.config.prediction_margin_c;
+        let proposed_powers = self.proposal_powers(inputs, power_model)?;
+        let predicted_peak =
+            self.predictor
+                .predict_peak_with(inputs.core_temps_c, &proposed_powers, &self.map)?;
+        self.resolve(inputs, power_model, &proposed_powers, predicted_peak)
+    }
+
+    /// Phase 1 of the two-phase decide: the power vector the predictor
+    /// should assume for the governors' proposal. A batched executor
+    /// assembles these across all lanes, classifies them with one panel
+    /// prediction, and only the violating lanes proceed to
+    /// [`DtpmPolicy::resolve`]'s actuation walk.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for a malformed proposed state (frequency not in the
+    /// OPP tables).
+    pub fn proposal_powers(
+        &self,
+        inputs: &DtpmInputs<'_>,
+        power_model: &PowerModel,
+    ) -> Result<DomainPower, DtpmError> {
         let hot_temp = inputs
             .core_temps_c
             .iter()
             .copied()
             .fold(f64::NEG_INFINITY, f64::max);
+        self.predicted_powers(inputs, power_model, &inputs.proposed, hot_temp, 1.0)
+    }
 
-        // Step 1: predict the outcome of the governors' proposal.
-        let proposed_powers =
-            self.predicted_powers(inputs, power_model, &inputs.proposed, hot_temp, 1.0)?;
-        let predicted_peak = self.predictor.predict_peak_with(
-            inputs.core_temps_c,
-            &proposed_powers,
-            horizon,
-            &mut self.scratch,
-        )?;
+    /// Phase 2 of the two-phase decide: resolves the decision given the
+    /// proposal's power vector (from [`DtpmPolicy::proposal_powers`]) and its
+    /// predicted peak temperature (scalar or batched — the two are
+    /// bit-identical). No violation predicted ⇒ the proposal is affirmed
+    /// with no further model work; otherwise the power budget is solved from
+    /// the precomputed horizon map and walked down the actuation priority
+    /// list.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for a malformed proposed state or thermal-model
+    /// failures.
+    pub fn resolve(
+        &self,
+        inputs: &DtpmInputs<'_>,
+        power_model: &PowerModel,
+        proposed_powers: &DomainPower,
+        predicted_peak: f64,
+    ) -> Result<DtpmDecision, DtpmError> {
+        let spec = inputs.spec;
+        let constraint = self.effective_constraint_c();
+
+        // Step 1: no violation predicted for the proposal — affirm it
+        // untouched. This is the steady-state common path.
         if predicted_peak <= constraint {
             return Ok(DtpmDecision {
                 state: inputs.proposed.clone(),
@@ -226,15 +283,13 @@ impl DtpmPolicy {
         }
 
         // Step 2: a violation is predicted — compute the power budget for the
-        // active cluster from the cached horizon matrices.
-        if self.horizon_cache.as_ref().map(|c| c.0) != Some(horizon) {
-            let (a_n, b_n) = self.predictor.model().horizon_matrices(horizon)?;
-            self.horizon_cache = Some((horizon, a_n, b_n));
-        }
-        let (_, a_n, b_n) = self
-            .horizon_cache
-            .as_ref()
-            .expect("horizon cache was just filled");
+        // active cluster from the precomputed horizon map.
+        let hot_temp = inputs
+            .core_temps_c
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max);
+        let (a_n, b_n) = (self.map.a_n(), self.map.b_n());
         let cluster = inputs.proposed.active_cluster;
         let domain = PowerDomain::from_cluster(cluster);
         let opps = spec.cluster_opps(cluster);
@@ -244,7 +299,7 @@ impl DtpmPolicy {
         let budget = PowerBudget::compute_with(
             &self.predictor,
             inputs.core_temps_c,
-            &proposed_powers,
+            proposed_powers,
             domain,
             constraint,
             a_n,
@@ -453,7 +508,7 @@ mod tests {
     #[test]
     fn cool_system_affirms_default_decision() {
         let spec = SocSpec::odroid_xu_e();
-        let mut policy = DtpmPolicy::new(DtpmConfig::default(), predictor());
+        let policy = DtpmPolicy::new(DtpmConfig::default(), predictor()).unwrap();
         let model = trained_power_model(3.5);
         let decision = policy
             .decide(&inputs(&spec, [42.0; 4], 3.6), &model)
@@ -466,7 +521,7 @@ mod tests {
     #[test]
     fn imminent_violation_caps_frequency() {
         let spec = SocSpec::odroid_xu_e();
-        let mut policy = DtpmPolicy::new(DtpmConfig::default(), predictor());
+        let policy = DtpmPolicy::new(DtpmConfig::default(), predictor()).unwrap();
         let model = trained_power_model(3.5);
         let decision = policy
             .decide(&inputs(&spec, [60.5, 60.0, 60.2, 59.8], 3.7), &model)
@@ -490,7 +545,7 @@ mod tests {
     #[test]
     fn hotter_system_gets_lower_frequency() {
         let spec = SocSpec::odroid_xu_e();
-        let mut policy = DtpmPolicy::new(DtpmConfig::default(), predictor());
+        let policy = DtpmPolicy::new(DtpmConfig::default(), predictor()).unwrap();
         let model = trained_power_model(3.5);
         let warm = policy
             .decide(&inputs(&spec, [59.0; 4], 3.7), &model)
@@ -505,7 +560,7 @@ mod tests {
     #[test]
     fn runaway_hot_core_is_shut_down_when_budget_is_tiny() {
         let spec = SocSpec::odroid_xu_e();
-        let mut policy = DtpmPolicy::new(DtpmConfig::default(), predictor());
+        let policy = DtpmPolicy::new(DtpmConfig::default(), predictor()).unwrap();
         // Very heavy activity estimate: even 800 MHz cannot fit a tiny budget.
         let model = trained_power_model(4.5);
         // Core 2 runs several degrees hotter than the others and the whole
@@ -531,7 +586,7 @@ mod tests {
             hot_core_delta_c: 10.0,
             ..DtpmConfig::default()
         };
-        let mut policy = DtpmPolicy::new(config, predictor());
+        let policy = DtpmPolicy::new(config, predictor()).unwrap();
         let model = trained_power_model(4.5);
         let decision = policy
             .decide(&inputs(&spec, [66.0, 65.8, 66.1, 65.9], 4.6), &model)
@@ -556,7 +611,7 @@ mod tests {
             hot_core_delta_c: 10.0,
             ..DtpmConfig::default()
         };
-        let mut policy = DtpmPolicy::new(config, predictor());
+        let policy = DtpmPolicy::new(config, predictor()).unwrap();
         let model = trained_power_model(4.5);
         let mut input = inputs(&spec, [66.0, 65.8, 66.1, 65.9], 4.6);
         input.proposed.gpu_frequency = Frequency::from_mhz(533);
@@ -574,7 +629,7 @@ mod tests {
     #[test]
     fn decisions_keep_the_platform_state_valid() {
         let spec = SocSpec::odroid_xu_e();
-        let mut policy = DtpmPolicy::new(DtpmConfig::default(), predictor());
+        let policy = DtpmPolicy::new(DtpmConfig::default(), predictor()).unwrap();
         let model = trained_power_model(4.0);
         for temps in [[45.0; 4], [58.0; 4], [61.0, 60.0, 63.5, 60.5], [66.0; 4]] {
             let decision = policy.decide(&inputs(&spec, temps, 4.0), &model).unwrap();
@@ -586,36 +641,53 @@ mod tests {
     }
 
     #[test]
-    fn invalid_config_is_reported() {
-        let spec = SocSpec::odroid_xu_e();
+    fn invalid_config_is_rejected_at_construction() {
         let config = DtpmConfig {
             prediction_horizon_steps: 0,
             ..DtpmConfig::default()
         };
-        let mut policy = DtpmPolicy::new(config, predictor());
-        let model = trained_power_model(3.0);
-        assert!(policy
-            .decide(&inputs(&spec, [50.0; 4], 3.0), &model)
-            .is_err());
+        assert!(DtpmPolicy::new(config, predictor()).is_err());
     }
 
     #[test]
-    fn policies_compare_by_configuration_not_scratch_state() {
+    fn policies_compare_by_configuration() {
         let spec = SocSpec::odroid_xu_e();
-        let mut a = DtpmPolicy::new(DtpmConfig::default(), predictor());
-        let b = DtpmPolicy::new(DtpmConfig::default(), predictor());
+        let a = DtpmPolicy::new(DtpmConfig::default(), predictor()).unwrap();
+        let b = DtpmPolicy::new(DtpmConfig::default(), predictor()).unwrap();
         assert_eq!(a, b);
-        // Making a decision fills the scratch buffers and the horizon cache;
-        // the policy is still behaviourally identical.
+        // Deciding derives nothing new: the policy stays behaviourally (and
+        // structurally) identical.
         let model = trained_power_model(3.5);
         a.decide(&inputs(&spec, [62.0; 4], 3.7), &model).unwrap();
         assert_eq!(a, b);
     }
 
     #[test]
+    fn two_phase_split_matches_one_shot_decide() {
+        // proposal_powers + external peak + resolve must be exactly decide.
+        let spec = SocSpec::odroid_xu_e();
+        let policy = DtpmPolicy::new(DtpmConfig::default(), predictor()).unwrap();
+        let model = trained_power_model(3.5);
+        for temps in [[45.0; 4], [60.5, 60.0, 60.2, 59.8], [66.0; 4]] {
+            let input = inputs(&spec, temps, 3.7);
+            let powers = policy.proposal_powers(&input, &model).unwrap();
+            let peak = policy
+                .predictor()
+                .predict_peak_with(temps, &powers, policy.horizon_map())
+                .unwrap();
+            let two_phase = policy.resolve(&input, &model, &powers, peak).unwrap();
+            let one_shot = policy.decide(&input, &model).unwrap();
+            assert_eq!(two_phase, one_shot);
+            assert_eq!(two_phase.predicted_peak_c.to_bits(), peak.to_bits());
+        }
+    }
+
+    #[test]
     fn accessors_round_trip() {
-        let policy = DtpmPolicy::new(DtpmConfig::default(), predictor());
+        let policy = DtpmPolicy::new(DtpmConfig::default(), predictor()).unwrap();
         assert_eq!(policy.config().temperature_constraint_c, 63.0);
         assert_eq!(policy.predictor().ambient_c(), 28.0);
+        assert_eq!(policy.horizon_map().horizon(), 10);
+        assert_eq!(policy.effective_constraint_c(), 62.5);
     }
 }

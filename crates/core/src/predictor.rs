@@ -1,9 +1,43 @@
 //! Thermal prediction from the identified state-space model.
+//!
+//! # One-shot horizon prediction and the two-phase decide
+//!
+//! The policy predicts the hotspot temperatures one prediction interval
+//! (`horizon` control steps) ahead on **every** control interval, so the
+//! prediction is the control path's hot loop. Instead of iterating the
+//! discrete model `horizon` times (two mat-vecs per step), the predictor
+//! applies the precomputed affine horizon map
+//! [`thermal_model::HorizonMap`] — `T[k+n] = Aₙ·T[k] + Bₙ·P` — a single
+//! application whatever the horizon, agreeing with the iterated model to
+//! ≤ 1e-12 °C ([`ThermalPredictor::predict_iterated`] keeps the loop as the
+//! equivalence reference). The maps are cached *inside* the predictor behind
+//! an [`Arc`], and clones share the cache: a lockstep sweep that clones one
+//! calibrated predictor into K per-lane policies computes `(Aₙ, Bₙ)` once
+//! for the whole sweep, not once per lane.
+//!
+//! At sweep scale the decision itself splits into two phases
+//! (`platform_sim`'s executor drives this):
+//!
+//! 1. **Batched classify** — every lane's proposed powers are assembled into
+//!    a [`crate::BatchPredictor`] panel and one fused panel application
+//!    predicts all lanes at once (the horizon matrices are loaded once per
+//!    interval for *all* lanes). Lanes whose predicted peak stays below the
+//!    constraint are affirmed right there — the steady-state common case
+//!    pays **zero** per-lane mat-vecs.
+//! 2. **Scalar actuate** — only the (rare) violating lanes fall through to
+//!    the full [`crate::DtpmPolicy`] actuation walk: power budget from the
+//!    same horizon map, frequency scan, core shutdown, migration.
+//!
+//! The scalar one-shot application accumulates in exactly the panel
+//! kernels' per-lane order, so batched and scalar classification are
+//! bit-identical — batching is purely a throughput optimisation and can
+//! never flip a decision.
 
-use numeric::Vector;
+use std::sync::{Arc, RwLock};
+
 use power_model::DomainPower;
 use serde::{Deserialize, Serialize};
-use thermal_model::DiscreteThermalModel;
+use thermal_model::{DiscreteThermalModel, HorizonMap};
 
 use crate::DtpmError;
 
@@ -41,25 +75,25 @@ pub const HOTSPOT_COUNT: usize = 4;
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ThermalPredictor {
     model: DiscreteThermalModel,
     ambient_c: f64,
+    /// Precomputed horizon maps, one per horizon ever requested. Shared
+    /// (`Arc`) so clones of this predictor — e.g. the per-lane policies of a
+    /// lockstep sweep — reuse the same `(Aₙ, Bₙ)` instead of recomputing
+    /// them per lane. Rebuilt lazily after deserialisation.
+    #[serde(skip)]
+    maps: Arc<RwLock<Vec<Arc<HorizonMap>>>>,
 }
 
-/// Reusable buffers for the allocation-free prediction path
-/// ([`ThermalPredictor::predict_with`]).
-///
-/// The DTPM policy holds one of these and reuses it for every control
-/// interval, so steady-state prediction does not touch the heap.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
-pub struct PredictorScratch {
-    /// Temperatures relative to ambient (input/output of the model loop).
-    rel: Vector,
-    /// Power inputs.
-    p: Vector,
-    /// Ping-pong buffer for the model iteration.
-    tmp: Vector,
+/// Two predictors are equal when they would make the same predictions: the
+/// lazily-built horizon-map cache is deliberately excluded (it only records
+/// which horizons have already been requested).
+impl PartialEq for ThermalPredictor {
+    fn eq(&self, other: &Self) -> bool {
+        self.model == other.model && self.ambient_c == other.ambient_c
+    }
 }
 
 impl ThermalPredictor {
@@ -79,7 +113,11 @@ impl ThermalPredictor {
                 inputs: model.input_count(),
             });
         }
-        Ok(ThermalPredictor { model, ambient_c })
+        Ok(ThermalPredictor {
+            model,
+            ambient_c,
+            maps: Arc::default(),
+        })
     }
 
     /// The wrapped identified model.
@@ -92,62 +130,112 @@ impl ThermalPredictor {
         self.ambient_c
     }
 
-    /// Predicts the hotspot temperatures `horizon` control intervals ahead
-    /// assuming the domain powers stay constant, returning absolute °C.
+    /// The precomputed one-shot horizon map for `horizon` control steps,
+    /// computed at most once per horizon and shared across clones of this
+    /// predictor (see the [module docs](self)). Hot-path callers fetch the
+    /// `Arc` once and hold it; [`ThermalPredictor::predict`] looks it up per
+    /// call.
     ///
     /// # Errors
     ///
-    /// Propagates thermal-model errors (zero horizon, dimension mismatch).
+    /// Returns an error for a zero horizon.
+    pub fn horizon_map(&self, horizon: usize) -> Result<Arc<HorizonMap>, DtpmError> {
+        {
+            let maps = self.maps.read().expect("horizon-map cache poisoned");
+            if let Some(map) = maps.iter().find(|m| m.horizon() == horizon) {
+                return Ok(Arc::clone(map));
+            }
+        }
+        let map = Arc::new(self.model.horizon_map(horizon)?);
+        let mut maps = self.maps.write().expect("horizon-map cache poisoned");
+        // Another clone may have raced us to the write lock: reuse its map so
+        // every holder of this cache sees one canonical map per horizon.
+        if let Some(existing) = maps.iter().find(|m| m.horizon() == horizon) {
+            return Ok(Arc::clone(existing));
+        }
+        maps.push(Arc::clone(&map));
+        Ok(map)
+    }
+
+    /// Predicts the hotspot temperatures `horizon` control intervals ahead
+    /// assuming the domain powers stay constant, returning absolute °C.
+    ///
+    /// One application of the cached horizon map — no horizon-length loop,
+    /// no allocation in steady state.
+    ///
+    /// # Errors
+    ///
+    /// Propagates thermal-model errors (zero horizon).
     pub fn predict(
         &self,
         core_temps_c: [f64; HOTSPOT_COUNT],
         powers: &DomainPower,
         horizon: usize,
     ) -> Result<[f64; HOTSPOT_COUNT], DtpmError> {
-        self.predict_with(
-            core_temps_c,
-            powers,
-            horizon,
-            &mut PredictorScratch::default(),
-        )
+        let map = self.horizon_map(horizon)?;
+        self.predict_with(core_temps_c, powers, &map)
     }
 
-    /// Allocation-free form of [`ThermalPredictor::predict`]: all intermediate
-    /// state lives in `scratch`, which callers on the control path hold and
-    /// reuse across intervals.
+    /// One-shot prediction through an explicitly held horizon map (the form
+    /// the control hot path uses: fetch the [`Arc`] once via
+    /// [`ThermalPredictor::horizon_map`], apply it every interval).
+    ///
+    /// Bit-identical per lane to a [`crate::BatchPredictor`] panel
+    /// application of the same map.
     ///
     /// # Errors
     ///
-    /// Propagates thermal-model errors (zero horizon, dimension mismatch).
+    /// Returns an error if `map` does not match the model's dimensions.
     pub fn predict_with(
         &self,
         core_temps_c: [f64; HOTSPOT_COUNT],
         powers: &DomainPower,
-        horizon: usize,
-        scratch: &mut PredictorScratch,
+        map: &HorizonMap,
     ) -> Result<[f64; HOTSPOT_COUNT], DtpmError> {
-        scratch.rel.resize(HOTSPOT_COUNT, 0.0);
-        for (i, t) in core_temps_c.iter().enumerate() {
-            scratch.rel[i] = t - self.ambient_c;
+        let mut rel = [0.0; HOTSPOT_COUNT];
+        for (slot, t) in rel.iter_mut().zip(core_temps_c) {
+            *slot = t - self.ambient_c;
         }
         let p = powers.as_array();
-        scratch.p.resize(p.len(), 0.0);
-        scratch.p.as_mut_slice().copy_from_slice(&p);
-        self.model.predict_constant_power_into(
-            &mut scratch.rel,
-            &scratch.p,
-            horizon,
-            &mut scratch.tmp,
-        )?;
         let mut out = [0.0; HOTSPOT_COUNT];
-        for (i, slot) in out.iter_mut().enumerate() {
-            *slot = scratch.rel[i] + self.ambient_c;
+        map.apply_into(&rel, &p, &mut out)?;
+        for slot in out.iter_mut() {
+            *slot += self.ambient_c;
         }
         Ok(out)
     }
 
-    /// Predicted maximum hotspot temperature at the horizon (°C),
-    /// allocation-free form of [`ThermalPredictor::predict_peak`].
+    /// The pre-map prediction path: iterates the discrete model `horizon`
+    /// times. Kept as the equivalence reference (the one-shot map agrees to
+    /// ≤ 1e-12 °C) and as the baseline of the `sweep_decide` benchmark; the
+    /// control path itself uses [`ThermalPredictor::predict_with`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates thermal-model errors (zero horizon).
+    pub fn predict_iterated(
+        &self,
+        core_temps_c: [f64; HOTSPOT_COUNT],
+        powers: &DomainPower,
+        horizon: usize,
+    ) -> Result<[f64; HOTSPOT_COUNT], DtpmError> {
+        let mut rel = numeric::Vector::zeros(HOTSPOT_COUNT);
+        for (i, t) in core_temps_c.iter().enumerate() {
+            rel[i] = t - self.ambient_c;
+        }
+        let p = numeric::Vector::from_slice(&powers.as_array());
+        let mut tmp = numeric::Vector::zeros(HOTSPOT_COUNT);
+        self.model
+            .predict_constant_power_into(&mut rel, &p, horizon, &mut tmp)?;
+        let mut out = [0.0; HOTSPOT_COUNT];
+        for (i, slot) in out.iter_mut().enumerate() {
+            *slot = rel[i] + self.ambient_c;
+        }
+        Ok(out)
+    }
+
+    /// Predicted maximum hotspot temperature at the horizon (°C) through an
+    /// explicitly held horizon map.
     ///
     /// # Errors
     ///
@@ -156,11 +244,10 @@ impl ThermalPredictor {
         &self,
         core_temps_c: [f64; HOTSPOT_COUNT],
         powers: &DomainPower,
-        horizon: usize,
-        scratch: &mut PredictorScratch,
+        map: &HorizonMap,
     ) -> Result<f64, DtpmError> {
         Ok(self
-            .predict_with(core_temps_c, powers, horizon, scratch)?
+            .predict_with(core_temps_c, powers, map)?
             .into_iter()
             .fold(f64::NEG_INFINITY, f64::max))
     }
@@ -178,6 +265,24 @@ impl ThermalPredictor {
     ) -> Result<f64, DtpmError> {
         Ok(self
             .predict(core_temps_c, powers, horizon)?
+            .into_iter()
+            .fold(f64::NEG_INFINITY, f64::max))
+    }
+
+    /// Iterated-model form of [`ThermalPredictor::predict_peak`] (the
+    /// `sweep_decide` baseline).
+    ///
+    /// # Errors
+    ///
+    /// Propagates thermal-model errors.
+    pub fn predict_peak_iterated(
+        &self,
+        core_temps_c: [f64; HOTSPOT_COUNT],
+        powers: &DomainPower,
+        horizon: usize,
+    ) -> Result<f64, DtpmError> {
+        Ok(self
+            .predict_iterated(core_temps_c, powers, horizon)?
             .into_iter()
             .fold(f64::NEG_INFINITY, f64::max))
     }
@@ -282,5 +387,47 @@ mod tests {
         let p = example_predictor();
         assert_eq!(p.ambient_c(), 28.0);
         assert_eq!(p.model().state_count(), 4);
+    }
+
+    #[test]
+    fn one_shot_prediction_tracks_the_iterated_model() {
+        let p = example_predictor();
+        let temps = [55.0, 52.5, 56.0, 54.0];
+        let powers = DomainPower::new(3.2, 0.05, 0.25, 0.4);
+        for horizon in [1, 4, 10, 32] {
+            let one_shot = p.predict(temps, &powers, horizon).unwrap();
+            let iterated = p.predict_iterated(temps, &powers, horizon).unwrap();
+            for i in 0..HOTSPOT_COUNT {
+                assert!(
+                    (one_shot[i] - iterated[i]).abs() <= 1e-12,
+                    "horizon {horizon} hotspot {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn horizon_maps_are_computed_once_and_shared_across_clones() {
+        let p = example_predictor();
+        let clone = p.clone();
+        let a = p.horizon_map(10).unwrap();
+        // The clone sees the map the original already computed (one
+        // computation per sweep, not per lane), and repeated requests return
+        // the same canonical map.
+        let b = clone.horizon_map(10).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert!(Arc::ptr_eq(&a, &p.horizon_map(10).unwrap()));
+        // Distinct horizons get distinct maps.
+        assert!(!Arc::ptr_eq(&a, &p.horizon_map(11).unwrap()));
+        assert!(p.horizon_map(0).is_err());
+    }
+
+    #[test]
+    fn equality_ignores_the_map_cache() {
+        let p = example_predictor();
+        let q = example_predictor();
+        assert_eq!(p, q);
+        p.horizon_map(10).unwrap();
+        assert_eq!(p, q, "a warmed cache must not affect equality");
     }
 }

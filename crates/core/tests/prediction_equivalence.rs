@@ -1,0 +1,127 @@
+//! Equivalence bars of the batched control-path prediction.
+//!
+//! Two properties gate the one-shot / panel prediction rework (same
+//! discipline as `crates/sim/tests/equivalence.rs` on the plant side):
+//!
+//! 1. the one-shot horizon-map prediction agrees with the iterated
+//!    discrete-model predictor to ≤ 1e-12 °C over random temperatures,
+//!    powers and horizons 1..=32, and
+//! 2. [`BatchPredictor`] panel predictions are **bit-identical** per lane to
+//!    the scalar [`ThermalPredictor::predict_with`] for lane counts
+//!    1/3/8/11 (full register-blocked chunks and scalar remainders alike),
+//!    so batching a sweep's decide pre-pass can never flip a control
+//!    decision.
+
+use dtpm::{BatchPredictor, ThermalPredictor};
+use numeric::Matrix;
+use power_model::DomainPower;
+use proptest::prelude::*;
+use thermal_model::DiscreteThermalModel;
+
+fn predictor() -> ThermalPredictor {
+    let a = Matrix::from_rows(&[
+        &[0.71, 0.09, 0.09, 0.09],
+        &[0.09, 0.71, 0.09, 0.09],
+        &[0.09, 0.09, 0.71, 0.09],
+        &[0.09, 0.09, 0.09, 0.71],
+    ])
+    .unwrap();
+    let b = Matrix::from_rows(&[
+        &[0.26, 0.10, 0.16, 0.06],
+        &[0.24, 0.12, 0.10, 0.06],
+        &[0.26, 0.10, 0.16, 0.06],
+        &[0.24, 0.12, 0.10, 0.06],
+    ])
+    .unwrap();
+    ThermalPredictor::new(DiscreteThermalModel::new(a, b, 0.1).unwrap(), 28.0).unwrap()
+}
+
+proptest! {
+    #[test]
+    fn one_shot_prediction_matches_iterated_model(
+        t0 in 28.0..80.0f64,
+        t1 in 28.0..80.0f64,
+        t2 in 28.0..80.0f64,
+        t3 in 28.0..80.0f64,
+        p_big in 0.0..6.0f64,
+        p_little in 0.0..1.0f64,
+        p_gpu in 0.0..2.0f64,
+        p_mem in 0.0..1.0f64,
+        horizon in 1usize..33,
+    ) {
+        let predictor = predictor();
+        let temps = [t0, t1, t2, t3];
+        let powers = DomainPower::new(p_big, p_little, p_gpu, p_mem);
+        let one_shot = predictor.predict(temps, &powers, horizon).unwrap();
+        let iterated = predictor.predict_iterated(temps, &powers, horizon).unwrap();
+        for i in 0..4 {
+            prop_assert!(
+                (one_shot[i] - iterated[i]).abs() <= 1e-12,
+                "horizon {} hotspot {}: {} vs {}",
+                horizon,
+                i,
+                one_shot[i],
+                iterated[i]
+            );
+        }
+        let peak = predictor.predict_peak(temps, &powers, horizon).unwrap();
+        let peak_iterated = predictor
+            .predict_peak_iterated(temps, &powers, horizon)
+            .unwrap();
+        prop_assert!((peak - peak_iterated).abs() <= 1e-12);
+    }
+
+    #[test]
+    fn panel_predictions_bit_identical_to_scalar_for_random_lanes(
+        base_t in 35.0..65.0f64,
+        spread in 0.0..8.0f64,
+        base_p in 0.5..5.0f64,
+        horizon in 1usize..33,
+    ) {
+        let predictor = predictor();
+        let map = predictor.horizon_map(horizon).unwrap();
+        for lanes in [1usize, 3, 8, 11] {
+            let mut batch =
+                BatchPredictor::for_predictor(&predictor, horizon, lanes).unwrap();
+            let inputs: Vec<([f64; 4], DomainPower)> = (0..lanes)
+                .map(|lane| {
+                    let l = lane as f64;
+                    (
+                        [
+                            base_t + spread * (0.31 * l).sin(),
+                            base_t + spread * (0.57 * l).cos(),
+                            base_t + spread * (0.73 * l).sin(),
+                            base_t + spread * (0.91 * l).cos(),
+                        ],
+                        DomainPower::new(base_p + 0.13 * l, 0.05, 0.2, 0.35),
+                    )
+                })
+                .collect();
+            for (lane, (temps, powers)) in inputs.iter().enumerate() {
+                batch.set_lane(lane, *temps, powers);
+            }
+            batch.predict();
+            for (lane, (temps, powers)) in inputs.iter().enumerate() {
+                let scalar = predictor.predict_with(*temps, powers, &map).unwrap();
+                let batched = batch.predicted_c(lane);
+                for i in 0..4 {
+                    prop_assert_eq!(
+                        batched[i].to_bits(),
+                        scalar[i].to_bits(),
+                        "lanes={} lane={} hotspot={}",
+                        lanes,
+                        lane,
+                        i
+                    );
+                }
+                prop_assert_eq!(
+                    batch.peak_c(lane).to_bits(),
+                    predictor
+                        .predict_peak_with(*temps, powers, &map)
+                        .unwrap()
+                        .to_bits()
+                );
+            }
+        }
+    }
+}

@@ -11,14 +11,17 @@
 //! * **Proposed DTPM** — fan removed; the predictive DTPM algorithm using the
 //!   identified thermal model and the run-time power model.
 
-use dtpm::{DtpmConfig, DtpmInputs, DtpmPolicy};
+use std::sync::Arc;
+
+use dtpm::{BatchPredictor, DtpmConfig, DtpmInputs, DtpmPolicy};
 use governors::{
     CpufreqGovernor, FanController, GovernorInput, HotplugGovernor, OndemandGovernor,
     ReactiveThrottler,
 };
-use power_model::PowerModel;
+use power_model::{DomainPower, PowerModel};
 use serde::{Deserialize, Serialize};
 use soc_model::{ClusterKind, FanLevel, Frequency, PlatformState, PowerDomain, SocSpec};
+use thermal_model::HorizonMap;
 use workload::{BenchmarkId, Demand, WorkloadState};
 
 use crate::calibrate::Calibration;
@@ -163,14 +166,42 @@ struct ControlLoop {
     steps_taken: usize,
 }
 
-/// One control interval's decisions, handed from [`ControlLoop::decide`] to
-/// the plant step and back into [`ControlLoop::absorb`].
+/// One control interval's decisions, handed from [`ControlLoop::complete`]
+/// to the plant step and back into [`ControlLoop::absorb`].
 #[derive(Debug, Clone)]
 struct IntervalDecision {
     demand: Demand,
     fan_level: FanLevel,
     predicted_peak_c: Option<f64>,
     intervened: bool,
+}
+
+/// A lane's control decision staged up to — but not including — the thermal
+/// classification of the governors' proposal ([`ControlLoop::stage`]).
+///
+/// Splitting here is what lets the executor classify *all* lanes' proposals
+/// with one batched panel prediction before any lane pays for the scalar
+/// actuation walk.
+#[derive(Debug)]
+enum Staged {
+    /// The decision needed no prediction (non-DTPM kinds): ready to step.
+    Ready(IntervalDecision),
+    /// A DTPM lane awaiting its proposal's predicted peak.
+    Classify(ClassifyRequest),
+}
+
+/// The prediction inputs a staged DTPM lane hands the (batched) classifier.
+#[derive(Debug)]
+struct ClassifyRequest {
+    demand: Demand,
+    proposal: PlatformState,
+    /// The power vector the proposal implies
+    /// ([`DtpmPolicy::proposal_powers`]).
+    proposed_powers: DomainPower,
+    /// Predicted peak at the horizon, filled in by the batched pre-pass;
+    /// `None` falls back to the (bit-identical) scalar prediction in
+    /// [`ControlLoop::complete`].
+    peak_c: Option<f64>,
 }
 
 impl ControlLoop {
@@ -199,7 +230,10 @@ impl ControlLoop {
         };
         let dtpm_policy = match config.kind {
             ExperimentKind::Dtpm => {
-                Some(DtpmPolicy::new(config.dtpm, calibration.predictor.clone()))
+                // Validates the DTPM configuration and precomputes the
+                // one-shot horizon map (shared with every other loop cloned
+                // from this calibration's predictor).
+                Some(DtpmPolicy::new(config.dtpm, calibration.predictor.clone())?)
             }
             _ => None,
         };
@@ -285,23 +319,24 @@ impl ControlLoop {
         proposal
     }
 
-    /// Makes this interval's control decisions from the latest sensor
-    /// readings: workload demand, governor proposal, the configured thermal
-    /// management, and the fan. Updates `self.state` to the decided platform
-    /// state.
+    /// Phase 1 of this interval's control decisions: workload demand,
+    /// governor proposal, and the configuration-specific thermal management
+    /// *up to* the thermal classification. Non-DTPM kinds complete outright
+    /// ([`Staged::Ready`]); a DTPM lane feeds the run-time power model,
+    /// assembles its proposal's power vector and returns a
+    /// [`Staged::Classify`] request for the (batched) predictor.
     ///
     /// # Errors
     ///
     /// Propagates platform and DTPM errors.
-    fn decide(&mut self) -> Result<IntervalDecision, SimError> {
+    fn stage(&mut self) -> Result<Staged, SimError> {
         let demand = self.workload.demand();
         let proposal = self.default_proposal(&demand);
 
-        // Configuration-specific thermal management.
-        let mut predicted_peak_c = None;
-        let mut intervened = false;
-        let next_state = match self.config.kind {
-            ExperimentKind::DefaultWithFan | ExperimentKind::WithoutFan => proposal,
+        match self.config.kind {
+            ExperimentKind::DefaultWithFan | ExperimentKind::WithoutFan => {
+                Ok(Staged::Ready(self.commit(demand, proposal, None, false)))
+            }
             ExperimentKind::Reactive => {
                 let mut state = proposal;
                 let throttled = self.reactive.apply(
@@ -309,9 +344,9 @@ impl ControlLoop {
                     state.big_frequency,
                     self.spec.big_opps(),
                 );
-                intervened = throttled != state.big_frequency;
+                let intervened = throttled != state.big_frequency;
                 state.big_frequency = throttled;
-                state
+                Ok(Staged::Ready(self.commit(demand, state, None, intervened)))
             }
             ExperimentKind::Dtpm => {
                 // Feed the run-time power model with the latest sensor data
@@ -337,34 +372,109 @@ impl ControlLoop {
 
                 let policy = self
                     .dtpm_policy
-                    .as_mut()
+                    .as_ref()
                     .expect("DTPM configuration always constructs a policy");
-                let decision = policy.decide(
-                    &DtpmInputs {
-                        spec: &self.spec,
-                        proposed: proposal,
-                        core_temps_c: self.readings.core_temps_c,
-                        measured_power: self.readings.domain_power,
-                    },
-                    &self.power_model,
-                )?;
-                predicted_peak_c = Some(decision.predicted_peak_c);
-                intervened = decision.action != dtpm::DtpmAction::Affirmed;
-                decision.state
+                let inputs = DtpmInputs {
+                    spec: &self.spec,
+                    proposed: proposal,
+                    core_temps_c: self.readings.core_temps_c,
+                    measured_power: self.readings.domain_power,
+                };
+                let proposed_powers = policy.proposal_powers(&inputs, &self.power_model)?;
+                Ok(Staged::Classify(ClassifyRequest {
+                    demand,
+                    proposal: inputs.proposed,
+                    proposed_powers,
+                    peak_c: None,
+                }))
             }
-        };
+        }
+    }
 
-        // Fan control (only meaningful in the default configuration).
+    /// Phase 2: resolves a staged decision. A classify request whose peak
+    /// the batched pre-pass already predicted goes straight to the policy's
+    /// affirm-or-actuate resolution; without one, the scalar horizon-map
+    /// prediction (bit-identical to the batched path) fills in first.
+    ///
+    /// # Errors
+    ///
+    /// Propagates platform and DTPM errors.
+    fn complete(&mut self, staged: Staged) -> Result<IntervalDecision, SimError> {
+        let request = match staged {
+            Staged::Ready(decision) => return Ok(decision),
+            Staged::Classify(request) => request,
+        };
+        let policy = self
+            .dtpm_policy
+            .as_ref()
+            .expect("only DTPM lanes stage classify requests");
+        let peak_c = match request.peak_c {
+            Some(peak_c) => peak_c,
+            None => policy.predictor().predict_peak_with(
+                self.readings.core_temps_c,
+                &request.proposed_powers,
+                policy.horizon_map(),
+            )?,
+        };
+        let inputs = DtpmInputs {
+            spec: &self.spec,
+            proposed: request.proposal,
+            core_temps_c: self.readings.core_temps_c,
+            measured_power: self.readings.domain_power,
+        };
+        let decision =
+            policy.resolve(&inputs, &self.power_model, &request.proposed_powers, peak_c)?;
+        let intervened = decision.action != dtpm::DtpmAction::Affirmed;
+        Ok(self.commit(
+            request.demand,
+            decision.state,
+            Some(decision.predicted_peak_c),
+            intervened,
+        ))
+    }
+
+    /// The shared tail of a decision: fan control (only meaningful in the
+    /// default configuration), programming the decided platform state, and
+    /// the [`IntervalDecision`] record.
+    fn commit(
+        &mut self,
+        demand: Demand,
+        next_state: PlatformState,
+        predicted_peak_c: Option<f64>,
+        intervened: bool,
+    ) -> IntervalDecision {
         let fan_level: FanLevel = self.fan.update(self.readings.max_core_temp_c());
         self.state = next_state;
         self.state.fan_level = fan_level;
-
-        Ok(IntervalDecision {
+        IntervalDecision {
             demand,
             fan_level,
             predicted_peak_c,
             intervened,
-        })
+        }
+    }
+
+    /// Stages and completes this interval's decision in one call, with the
+    /// scalar (single-lane) classification — the path the executor's
+    /// mid-interval admissions use. Batched execution goes through
+    /// [`ControlLoop::stage`] / [`ControlLoop::complete`] instead; the two
+    /// are bit-identical.
+    ///
+    /// # Errors
+    ///
+    /// Propagates platform and DTPM errors.
+    fn decide(&mut self) -> Result<IntervalDecision, SimError> {
+        let staged = self.stage()?;
+        self.complete(staged)
+    }
+
+    /// The batched-classify identity of this lane: the policy's shared
+    /// horizon map and the ambient temperature its predictor is referenced
+    /// to. `None` for non-DTPM kinds.
+    fn classify_key(&self) -> Option<(&Arc<HorizonMap>, f64)> {
+        self.dtpm_policy
+            .as_ref()
+            .map(|policy| (policy.horizon_map(), policy.predictor().ambient_c()))
     }
 
     /// Folds one plant interval back into the loop: workload progress, energy
@@ -424,7 +534,9 @@ struct LaneSlot {
     /// `None` once the lane has retired its scenario (and no replacement was
     /// admitted from the work queue).
     control: Option<ControlLoop>,
-    /// This interval's decision, between decide and absorb.
+    /// This interval's staged decision, between stage and complete.
+    staged: Option<Staged>,
+    /// This interval's decision, between complete and absorb.
     decision: Option<IntervalDecision>,
     /// The plant inputs replayed while the lane idles, captured once when
     /// its scenario retires: the final platform state with idle demand and
@@ -442,7 +554,102 @@ impl LaneSlot {
             slot,
             frozen: frozen_inputs(&control),
             control: Some(control),
+            staged: None,
             decision: None,
+        }
+    }
+}
+
+/// The batched classification pre-pass of [`drive_engine`]'s decide phase.
+///
+/// Every staged DTPM lane wants the same thing classified — "does my
+/// proposal's power vector violate the constraint at the horizon?" — and in
+/// a sweep all lanes cloned from one calibration share one horizon map, so
+/// the pre-pass assembles their `(temperatures, proposed powers)` into a
+/// [`BatchPredictor`] panel and predicts **all lanes with one fused panel
+/// application**: the `(Aₙ, Bₙ)` matrices are loaded once per control
+/// interval for the whole batch instead of once per lane. Panel predictions
+/// are bit-identical per lane to the scalar path, so lanes left out of a
+/// batch (a rare mixed-horizon sweep, non-DTPM lanes) simply fall back to
+/// the scalar prediction in [`ControlLoop::complete`] with no behavioural
+/// difference.
+struct DecidePrepass {
+    batch: Option<BatchPredictor>,
+    /// Lane indices that joined the current interval's batch (reused across
+    /// intervals, so the pre-pass allocates nothing in steady state).
+    joined: Vec<usize>,
+}
+
+impl DecidePrepass {
+    fn new() -> Self {
+        DecidePrepass {
+            batch: None,
+            joined: Vec::new(),
+        }
+    }
+
+    /// Classifies the staged DTPM lanes in one panel prediction, writing
+    /// each member lane's predicted peak into its [`ClassifyRequest`].
+    fn classify(&mut self, lanes: &mut [LaneSlot]) {
+        // One pass loads every staged DTPM lane into the panel, anchoring
+        // the batch on the first such lane's (shared) map: lanes whose key
+        // matches the anchor join; the rest keep their scalar fallback.
+        self.joined.clear();
+        let mut anchor: Option<(Arc<HorizonMap>, f64)> = None;
+        for (index, lane) in lanes.iter().enumerate() {
+            if !matches!(&lane.staged, Some(Staged::Classify(_))) {
+                continue;
+            }
+            let Some((map, ambient_c)) = lane.control.as_ref().and_then(ControlLoop::classify_key)
+            else {
+                continue;
+            };
+            match &anchor {
+                Some((anchor_map, anchor_ambient)) => {
+                    if !Arc::ptr_eq(anchor_map, map) || *anchor_ambient != ambient_c {
+                        continue;
+                    }
+                }
+                None => {
+                    let width = lanes.len();
+                    let stale = self.batch.as_ref().is_none_or(|batch| {
+                        !Arc::ptr_eq(batch.map(), map)
+                            || batch.ambient_c() != ambient_c
+                            || batch.lanes() != width
+                    });
+                    if stale {
+                        // A non-hotspot-shaped map cannot be panelised; every
+                        // lane then keeps its scalar fallback (cannot happen
+                        // for policy-built maps).
+                        self.batch = BatchPredictor::new(Arc::clone(map), ambient_c, width).ok();
+                    }
+                    if self.batch.is_none() {
+                        return;
+                    }
+                    anchor = Some((Arc::clone(map), ambient_c));
+                }
+            }
+            let batch = self.batch.as_mut().expect("anchored batches exist");
+            let control = lane.control.as_ref().expect("staged lanes hold a control");
+            let Some(Staged::Classify(request)) = &lane.staged else {
+                unreachable!("membership was just checked");
+            };
+            batch.set_lane(
+                index,
+                control.readings.core_temps_c,
+                &request.proposed_powers,
+            );
+            self.joined.push(index);
+        }
+        let Some(batch) = self.batch.as_mut().filter(|_| !self.joined.is_empty()) else {
+            return;
+        };
+        batch.predict();
+        for &index in &self.joined {
+            let Some(Staged::Classify(request)) = &mut lanes[index].staged else {
+                unreachable!("joined lanes hold a classify request");
+            };
+            request.peak_c = Some(batch.peak_c(index));
         }
     }
 }
@@ -488,8 +695,13 @@ fn lane_input(lane: &LaneSlot) -> LaneInput<'_> {
 /// 1. **retires** lanes whose scenario is done (publishing the result),
 ///    **admits** a replacement scenario from `next` into each freed lane
 ///    (retire → compact → admit; the lane restarts at the new scenario's
-///    initial state via [`PlantEngine::admit`]), and lets every live lane
-///    make its control decision,
+///    initial state via [`PlantEngine::admit`]), and resolves every live
+///    lane's control decision in two phases: each lane **stages** its
+///    decision up to the thermal classification, one batched panel
+///    prediction classifies every staged DTPM proposal at once
+///    ([`DecidePrepass`]), and each lane **completes** — affirmed lanes (the
+///    steady-state common case) finish with zero per-lane mat-vecs, only
+///    violating lanes walk the scalar actuation list,
 /// 2. advances the engine by one interval with per-lane inputs (idle lanes
 ///    replay their frozen inputs), and
 /// 3. absorbs the per-lane plant steps back into the control loops.
@@ -520,9 +732,9 @@ fn drive_engine<E, N, P>(
 {
     debug_assert_eq!(engine.lanes(), lanes.len(), "engine width matches lanes");
     let mut steps: Vec<Result<PlantStep, SimError>> = Vec::with_capacity(lanes.len());
+    let mut prepass = DecidePrepass::new();
     loop {
-        // Phase 1: retire → admit → decide, per lane.
-        let mut any_active = false;
+        // Phase 1a: retire → admit → stage, per lane.
         for (index, lane) in lanes.iter_mut().enumerate() {
             loop {
                 match lane.control.as_mut() {
@@ -542,11 +754,8 @@ fn drive_engine<E, N, P>(
                         // Fall through to the admission arm.
                     }
                     Some(control) => {
-                        match control.decide() {
-                            Ok(decision) => {
-                                lane.decision = Some(decision);
-                                any_active = true;
-                            }
+                        match control.stage() {
+                            Ok(staged) => lane.staged = Some(staged),
                             Err(e) => {
                                 lane.frozen = frozen_inputs(control);
                                 publish(lane.slot, Err(e));
@@ -563,14 +772,63 @@ fn drive_engine<E, N, P>(
                             engine.admit(index, control.config.plant);
                             lane.slot = slot;
                             lane.control = Some(control);
+                            lane.staged = None;
                             lane.decision = None;
                             // `frozen` still holds the previous occupant's
                             // retire snapshot; every retire path recaptures
                             // it before this lane can idle again.
-                            // Loop back so the fresh scenario decides now.
+                            // Loop back so the fresh scenario stages now.
                         }
                         None => break,
                     },
+                }
+            }
+        }
+
+        // Phase 1b: one batched panel prediction classifies every staged
+        // DTPM proposal (the horizon matrices are loaded once for all
+        // lanes); affirmed lanes will complete without any per-lane
+        // mat-vecs.
+        prepass.classify(lanes);
+
+        // Phase 1c: complete the staged decisions. A lane failing here is
+        // retired like a stage failure, and replacement scenarios admitted
+        // mid-interval decide through the (bit-identical) scalar path.
+        let mut any_active = false;
+        for (index, lane) in lanes.iter_mut().enumerate() {
+            let Some(staged) = lane.staged.take() else {
+                continue;
+            };
+            let control = lane.control.as_mut().expect("staged lanes hold a control");
+            match control.complete(staged) {
+                Ok(decision) => {
+                    lane.decision = Some(decision);
+                    any_active = true;
+                    continue;
+                }
+                Err(e) => {
+                    lane.frozen = frozen_inputs(control);
+                    publish(lane.slot, Err(e));
+                    lane.control = None;
+                }
+            }
+            // Retired on error: admit and decide replacements until one
+            // survives its first decision or the queue runs dry.
+            while let Some((slot, control)) = next() {
+                engine.admit(index, control.config.plant);
+                lane.slot = slot;
+                let control = lane.control.insert(control);
+                match control.decide() {
+                    Ok(decision) => {
+                        lane.decision = Some(decision);
+                        any_active = true;
+                        break;
+                    }
+                    Err(e) => {
+                        lane.frozen = frozen_inputs(control);
+                        publish(lane.slot, Err(e));
+                        lane.control = None;
+                    }
                 }
             }
         }

@@ -96,6 +96,16 @@
 //! strided apply. The `sweep_step` Criterion bench pins the batched engine at
 //! ≥ 2× the scalar per-scenario micro-step throughput at eight lanes.
 //!
+//! The *decision* side is batched too: each interval the executor stages
+//! every lane's decision up to the thermal classification, then one fused
+//! panel application of the precomputed horizon map
+//! ([`dtpm::BatchPredictor`]) classifies all DTPM proposals at once —
+//! bit-identical per lane to the scalar predictor, so only lanes actually
+//! predicted to violate pay the scalar actuation walk. The `sweep_decide`
+//! bench pins the batched two-phase decide at ≥ 1.5× decisions/s over the
+//! per-lane iterated path on a control-heavy sweep (measured 13.4×, see
+//! `BENCH_sweep_decide.json`).
+//!
 //! # The `PlantEngine` seam and the one executor
 //!
 //! Both execution paths above are instantiations of a single generic

@@ -38,6 +38,13 @@
 //!   [`state_space::DiscreteThermalModel::step_into`] /
 //!   [`state_space::DiscreteThermalModel::predict_constant_power_into`] give
 //!   the prediction side the same scratch-reuse treatment.
+//! * [`state_space::DiscreteThermalModel::horizon_map`] collapses an
+//!   `n`-step constant-power prediction into the precomputed affine map
+//!   `T[k+n] = Aₙ·T[k] + Bₙ·P` ([`state_space::HorizonMap`]): one
+//!   application regardless of the horizon, agreeing with the iterated
+//!   predictor to ≤ 1e-12 °C, and with an accumulation order chosen so a
+//!   panel (batched) application is bit-identical per lane to the scalar
+//!   one. This is the control-path twin of the plant's cached transitions.
 //!
 //! # Batched (structure-of-arrays) stepping
 //!
@@ -93,4 +100,4 @@ pub use network::{
     BatchStepTransition, ExynosThermalNetwork, FanBoost, NodeId, RkScratch, StepTransition,
     ThermalNetwork, ThermalNetworkBuilder,
 };
-pub use state_space::DiscreteThermalModel;
+pub use state_space::{DiscreteThermalModel, HorizonMap};

@@ -274,6 +274,18 @@ impl DiscreteThermalModel {
         Ok((a_power, b_n))
     }
 
+    /// Packages [`DiscreteThermalModel::horizon_matrices`] into a
+    /// [`HorizonMap`]: the reusable one-shot form of an `horizon`-step
+    /// constant-power prediction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError::InvalidParameter`] for a zero horizon.
+    pub fn horizon_map(&self, horizon: usize) -> Result<HorizonMap, ThermalError> {
+        let (a_n, b_n) = self.horizon_matrices(horizon)?;
+        Ok(HorizonMap { horizon, a_n, b_n })
+    }
+
     /// Estimate of the spectral radius of `As`; a stable thermal model has a
     /// value strictly below 1.
     ///
@@ -303,6 +315,119 @@ impl DiscreteThermalModel {
                 expected: self.input_count(),
                 actual: powers.len(),
             });
+        }
+        Ok(())
+    }
+}
+
+/// The precomputed one-shot horizon map `(Aₙ, Bₙ)` of an `n`-step
+/// constant-power prediction: `T[k+n] = Aₙ·T[k] + Bₙ·P`.
+///
+/// Iterating `T ← As·T + Bs·P` for `n` steps costs `2n` mat-vecs per
+/// prediction; applying the map costs exactly one affine application,
+/// independent of the horizon. The matrices are the same
+/// [`DiscreteThermalModel::horizon_matrices`] the DTPM power-budget
+/// computation solves against, so one map serves both the violation
+/// pre-check and the budget.
+///
+/// [`HorizonMap::apply_into`] accumulates each output element in the same
+/// order as the scalar remainder of `numeric::affine_pair_apply` (for
+/// `j = 0..n`, the `Aₙ`-term and `Bₙ`-term as one fused expression), so a
+/// panel application of the same map is **bit-identical** per lane to this
+/// scalar application — the property the batched control-path predictor
+/// builds on.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HorizonMap {
+    horizon: usize,
+    a_n: Matrix,
+    b_n: Matrix,
+}
+
+impl HorizonMap {
+    /// The horizon `n` the map aggregates, in control intervals.
+    pub fn horizon(&self) -> usize {
+        self.horizon
+    }
+
+    /// The aggregate state matrix `Aₙ = As^n`.
+    pub fn a_n(&self) -> &Matrix {
+        &self.a_n
+    }
+
+    /// The aggregate input matrix `Bₙ = (Σ As^i)·Bs`.
+    pub fn b_n(&self) -> &Matrix {
+        &self.b_n
+    }
+
+    /// Number of thermal states the map predicts.
+    pub fn state_count(&self) -> usize {
+        self.a_n.rows()
+    }
+
+    /// Number of power inputs the map consumes.
+    pub fn input_count(&self) -> usize {
+        self.b_n.cols()
+    }
+
+    /// One-shot `horizon`-step prediction: `out = Aₙ·state + Bₙ·powers`.
+    ///
+    /// When the state and input counts agree (the identified 4-state /
+    /// 4-input hotspot model), each output element accumulates the two terms
+    /// fused per index — the exact per-lane order of the panel kernels, so
+    /// batched and scalar predictions agree to the last bit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError::DimensionMismatch`] for wrong-length slices.
+    pub fn apply_into(
+        &self,
+        state: &[f64],
+        powers: &[f64],
+        out: &mut [f64],
+    ) -> Result<(), ThermalError> {
+        let n = self.state_count();
+        let m = self.input_count();
+        if state.len() != n || out.len() != n {
+            return Err(ThermalError::DimensionMismatch {
+                what: "temperature vector",
+                expected: n,
+                actual: if state.len() != n {
+                    state.len()
+                } else {
+                    out.len()
+                },
+            });
+        }
+        if powers.len() != m {
+            return Err(ThermalError::DimensionMismatch {
+                what: "power vector",
+                expected: m,
+                actual: powers.len(),
+            });
+        }
+        let a = self.a_n.as_slice();
+        let b = self.b_n.as_slice();
+        if n == m {
+            for (i, slot) in out.iter_mut().enumerate() {
+                let mut acc = 0.0;
+                for j in 0..n {
+                    // One fused expression per j, matching the panel kernel's
+                    // rounding exactly.
+                    acc += a[i * n + j] * state[j] + b[i * m + j] * powers[j];
+                }
+                *slot = acc;
+            }
+        } else {
+            for (i, slot) in out.iter_mut().enumerate() {
+                let mut acc = 0.0;
+                for (j, x) in state.iter().enumerate() {
+                    acc += a[i * n + j] * x;
+                }
+                for (j, p) in powers.iter().enumerate() {
+                    acc += b[i * m + j] * p;
+                }
+                *slot = acc;
+            }
         }
         Ok(())
     }
@@ -470,6 +595,70 @@ mod tests {
         let g = Matrix::from_rows(&[&[0.7, -0.5], &[-0.5, 0.5]]).unwrap();
         let err = DiscreteThermalModel::from_continuous(&c, &g, 10.0).unwrap_err();
         assert!(matches!(err, ThermalError::UnstableModel { .. }));
+    }
+
+    #[test]
+    fn horizon_map_matches_horizon_matrices() {
+        let model = example_model();
+        let map = model.horizon_map(12).unwrap();
+        let (a_n, b_n) = model.horizon_matrices(12).unwrap();
+        assert_eq!(map.horizon(), 12);
+        assert_eq!(map.a_n(), &a_n);
+        assert_eq!(map.b_n(), &b_n);
+        assert_eq!(map.state_count(), 4);
+        assert_eq!(map.input_count(), 4);
+        assert!(model.horizon_map(0).is_err());
+    }
+
+    #[test]
+    fn horizon_map_apply_matches_iterated_prediction() {
+        let model = example_model();
+        let t = [18.0, 17.0, 19.0, 18.5];
+        let p = [2.2, 0.1, 0.4, 0.4];
+        for horizon in [1, 5, 10, 25] {
+            let map = model.horizon_map(horizon).unwrap();
+            let mut one_shot = [0.0; 4];
+            map.apply_into(&t, &p, &mut one_shot).unwrap();
+            let iterated = model
+                .predict_constant_power(&Vector::from_slice(&t), &Vector::from_slice(&p), horizon)
+                .unwrap();
+            for i in 0..4 {
+                assert!(
+                    (one_shot[i] - iterated[i]).abs() < 1e-12,
+                    "horizon {horizon} state {i}: {} vs {}",
+                    one_shot[i],
+                    iterated[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn horizon_map_apply_handles_rectangular_inputs() {
+        // 2 states, 3 inputs: the non-square (separate-loop) path.
+        let a = Matrix::from_rows(&[&[0.9, 0.02], &[0.02, 0.9]]).unwrap();
+        let b = Matrix::from_rows(&[&[0.1, 0.02, 0.01], &[0.08, 0.03, 0.01]]).unwrap();
+        let model = DiscreteThermalModel::new(a, b, 0.1).unwrap();
+        let map = model.horizon_map(7).unwrap();
+        let t = [5.0, 6.0];
+        let p = [1.0, 0.5, 0.25];
+        let mut out = [0.0; 2];
+        map.apply_into(&t, &p, &mut out).unwrap();
+        let iterated = model
+            .predict_constant_power(&Vector::from_slice(&t), &Vector::from_slice(&p), 7)
+            .unwrap();
+        for i in 0..2 {
+            assert!((out[i] - iterated[i]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn horizon_map_apply_rejects_wrong_lengths() {
+        let map = example_model().horizon_map(3).unwrap();
+        let mut out = [0.0; 4];
+        assert!(map.apply_into(&[0.0; 3], &[0.0; 4], &mut out).is_err());
+        assert!(map.apply_into(&[0.0; 4], &[0.0; 5], &mut out).is_err());
+        assert!(map.apply_into(&[0.0; 4], &[0.0; 4], &mut [0.0; 2]).is_err());
     }
 
     #[test]

@@ -1,0 +1,79 @@
+//! Property tests pinning the one-shot horizon map to the iterated
+//! predictor.
+//!
+//! The DTPM control path replaces the `horizon`-length prediction loop with
+//! one application of the precomputed affine map `T[k+n] = Aₙ·T[k] + Bₙ·P`
+//! ([`HorizonMap`]). These tests prove the two agree to ≤ 1e-12 °C over
+//! random temperatures, powers and horizons 1..=32 on models shaped like the
+//! identified 4-hotspot Exynos model — the bar the batched control-path
+//! predictor inherits.
+
+use numeric::{Matrix, Vector};
+use proptest::prelude::*;
+use thermal_model::DiscreteThermalModel;
+
+/// A stable 4-state/4-input model parameterised by a coupling knob, loosely
+/// shaped like the identified Exynos hotspot model.
+fn model(coupling: f64) -> DiscreteThermalModel {
+    let d = 0.95 - 3.0 * coupling;
+    let a = Matrix::from_rows(&[
+        &[d, coupling, coupling, coupling],
+        &[coupling, d, coupling, coupling],
+        &[coupling, coupling, d, coupling],
+        &[coupling, coupling, coupling, d],
+    ])
+    .unwrap();
+    let b = Matrix::from_rows(&[
+        &[0.26, 0.10, 0.16, 0.06],
+        &[0.24, 0.12, 0.10, 0.06],
+        &[0.26, 0.10, 0.16, 0.06],
+        &[0.24, 0.12, 0.10, 0.06],
+    ])
+    .unwrap();
+    DiscreteThermalModel::new(a, b, 0.1).unwrap()
+}
+
+proptest! {
+    #[test]
+    fn one_shot_map_matches_iterated_predictor(
+        coupling in 0.01..0.09f64,
+        t0 in 0.0..60.0f64,
+        t1 in 0.0..60.0f64,
+        t2 in 0.0..60.0f64,
+        t3 in 0.0..60.0f64,
+        p_big in 0.0..6.0f64,
+        p_little in 0.0..1.0f64,
+        p_gpu in 0.0..2.0f64,
+        p_mem in 0.0..1.0f64,
+        horizon in 1usize..33,
+    ) {
+        let model = model(coupling);
+        let temps = [t0, t1, t2, t3];
+        let powers = [p_big, p_little, p_gpu, p_mem];
+
+        let map = model.horizon_map(horizon).unwrap();
+        prop_assert_eq!(map.horizon(), horizon);
+        let mut one_shot = [0.0; 4];
+        map.apply_into(&temps, &powers, &mut one_shot).unwrap();
+
+        let iterated = model
+            .predict_constant_power(
+                &Vector::from_slice(&temps),
+                &Vector::from_slice(&powers),
+                horizon,
+            )
+            .unwrap();
+
+        for i in 0..4 {
+            prop_assert!(
+                (one_shot[i] - iterated[i]).abs() <= 1e-12,
+                "horizon {} state {}: one-shot {} vs iterated {} (diff {:e})",
+                horizon,
+                i,
+                one_shot[i],
+                iterated[i],
+                (one_shot[i] - iterated[i]).abs()
+            );
+        }
+    }
+}

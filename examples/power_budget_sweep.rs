@@ -15,7 +15,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let calibration = CalibrationCampaign::default().run(5)?;
     let spec = SocSpec::odroid_xu_e();
     let config = DtpmConfig::default();
-    let mut policy = DtpmPolicy::new(config, calibration.predictor.clone());
+    let policy = DtpmPolicy::new(config, calibration.predictor.clone())?;
 
     // Train the run-time power model on a heavy workload so αC reflects a
     // matrix-multiplication-like activity.
