@@ -1,0 +1,267 @@
+//! Memory and wall-clock benchmark for streaming sweep campaigns.
+//!
+//! A ~200-cell grid (kinds × benchmarks × ambients × DTPM variants ×
+//! replicates) is run twice through the same lane-compacting scheduler:
+//!
+//! * **collect-everything** — the classic trace-retaining path
+//!   ([`TracePolicy::Full`] into a [`CollectSink`]): every run keeps one
+//!   `TraceRecord` per control interval, so retained memory scales as
+//!   cells × intervals.
+//! * **streaming-summaries** — the campaign default
+//!   ([`TracePolicy::SummaryOnly`]): every run streams through the online
+//!   accumulators and retains one O(1) [`RunSummary`], so retained memory is
+//!   O(cells) regardless of run length.
+//!
+//! The acceptance bar is structural, not a race: the streaming sink's
+//! retained result bytes must stay exactly O(cells) — zero per-interval
+//! records retained — while the collect arm's retention grows with the
+//! per-run interval count, and the per-cell summaries of the two arms must
+//! agree. The measured numbers land in `BENCH_sweep_campaign.json`.
+
+use std::time::{Duration, Instant};
+
+use platform_sim::{
+    Calibration, CalibrationCampaign, CollectSink, DtpmVariant, ExperimentKind, RunReport,
+    RunSummary, SimError, SweepSpec, TracePolicy,
+};
+use workload::BenchmarkId;
+
+/// Lanes per worker engine (batch width) for both arms.
+const LANES: usize = 8;
+/// Simulated duration cap per cell in the full run, seconds.
+const FULL_DURATION_S: f64 = 4.0;
+/// Acceptance floor: collect-arm retained bytes over streaming-arm retained
+/// bytes. With 40 retained intervals per cell the measured ratio sits far
+/// above this; the floor only guards against per-interval retention
+/// sneaking back into the streaming path.
+const RETENTION_FLOOR: f64 = 4.0;
+
+/// The campaign grid: 2 kinds × 5 benchmarks × 2 ambients × 2 DTPM variants
+/// × 5 replicates = 200 cells (8 cells in `--test` mode).
+fn campaign(test_mode: bool) -> SweepSpec {
+    let (benchmarks, ambients, variants, replicates) = if test_mode {
+        (
+            vec![BenchmarkId::Crc32],
+            vec![28.0],
+            vec![DtpmVariant::default()],
+            4,
+        )
+    } else {
+        (
+            vec![
+                BenchmarkId::Crc32,
+                BenchmarkId::Qsort,
+                BenchmarkId::Dijkstra,
+                BenchmarkId::Basicmath,
+                BenchmarkId::Templerun,
+            ],
+            vec![26.0, 32.0],
+            vec![
+                DtpmVariant::default(),
+                DtpmVariant {
+                    horizon_steps: 20,
+                    constraint_c: 60.0,
+                },
+            ],
+            5,
+        )
+    };
+    SweepSpec::new(
+        vec![ExperimentKind::Reactive, ExperimentKind::Dtpm],
+        benchmarks,
+    )
+    .with_ambients_c(ambients)
+    .with_dtpm_variants(variants)
+    .with_replicates(replicates)
+    .with_campaign_seed(0x5EED_CA4D)
+    .with_max_duration_s(if test_mode { 1.0 } else { FULL_DURATION_S })
+    .with_ideal_sensors(true)
+}
+
+/// Bytes a collected report pins in memory beyond its own struct: the heap
+/// side of the retained trace.
+fn retained_trace_bytes(report: &RunReport) -> usize {
+    report
+        .trace
+        .as_ref()
+        .map(|t| t.len() * std::mem::size_of::<platform_sim::TraceRecord>())
+        .unwrap_or(0)
+}
+
+struct ArmOutcome {
+    wall: Duration,
+    reports: Vec<Result<RunReport, SimError>>,
+    /// Total retained result bytes: per-report struct plus retained trace
+    /// heap.
+    retained_bytes: usize,
+    /// Total per-interval records retained across every report.
+    retained_records: usize,
+}
+
+fn run_arm(spec: &SweepSpec, calibration: &Calibration, recording: TracePolicy) -> ArmOutcome {
+    let mut sink = CollectSink::new(spec.cells());
+    let start = Instant::now();
+    spec.runner()
+        .with_threads(1)
+        .with_lanes(LANES)
+        .with_recording(recording)
+        .run_into(calibration, &mut sink);
+    let wall = start.elapsed();
+    let reports = sink.into_reports();
+    let retained_records: usize = reports
+        .iter()
+        .map(|r| {
+            r.as_ref()
+                .map(|r| r.trace.as_ref().map(platform_sim::Trace::len).unwrap_or(0))
+                .unwrap_or(0)
+        })
+        .sum();
+    let retained_bytes = reports.len() * std::mem::size_of::<Result<RunReport, SimError>>()
+        + reports
+            .iter()
+            .map(|r| r.as_ref().map(retained_trace_bytes).unwrap_or(0))
+            .sum::<usize>();
+    ArmOutcome {
+        wall,
+        reports,
+        retained_bytes,
+        retained_records,
+    }
+}
+
+fn main() {
+    let test_mode = std::env::args().any(|a| a == "--test");
+    let spec = campaign(test_mode);
+    let cells = spec.cells();
+
+    let calibration = CalibrationCampaign {
+        prbs_duration_s: 120.0,
+        run_furnace: false,
+        ..CalibrationCampaign::default()
+    }
+    .run(41)
+    .expect("calibration campaign must succeed");
+
+    let collect = run_arm(&spec, &calibration, TracePolicy::Full);
+    let streaming = run_arm(&spec, &calibration, TracePolicy::SummaryOnly);
+
+    // Cross-check the arms while we have them side by side: streaming must
+    // be invisible in the summaries. A single worker makes lane placement
+    // deterministic, so the comparison is exact.
+    assert_eq!(collect.reports.len(), cells);
+    assert_eq!(streaming.reports.len(), cells);
+    for (index, (collected, streamed)) in collect.reports.iter().zip(&streaming.reports).enumerate()
+    {
+        let collected = collected.as_ref().expect("collect arm cell succeeds");
+        let streamed = streamed.as_ref().expect("streaming arm cell succeeds");
+        assert_eq!(
+            collected.summary, streamed.summary,
+            "cell {index}: summaries diverged between arms"
+        );
+        assert!(
+            streamed.trace.is_none(),
+            "cell {index}: streaming arm retained a trace"
+        );
+    }
+
+    // The structural acceptance bar: the streaming sink retains zero
+    // per-interval records — its result bytes are exactly O(cells) — while
+    // the collect arm's retention carries every interval of every cell.
+    assert_eq!(
+        streaming.retained_records, 0,
+        "streaming arm must retain no per-interval records"
+    );
+    assert_eq!(
+        streaming.retained_bytes,
+        cells * std::mem::size_of::<Result<RunReport, SimError>>(),
+        "streaming retention must be exactly cells x report size"
+    );
+    let intervals_total: usize = collect
+        .reports
+        .iter()
+        .map(|r| r.as_ref().map(|r| r.summary.intervals).unwrap_or(0))
+        .sum();
+    assert_eq!(
+        collect.retained_records, intervals_total,
+        "collect arm retains every interval"
+    );
+
+    let ratio = collect.retained_bytes as f64 / streaming.retained_bytes as f64;
+    let collect_ms = collect.wall.as_secs_f64() * 1e3;
+    let streaming_ms = streaming.wall.as_secs_f64() * 1e3;
+    println!(
+        "sweep_campaign/cells                     {cells:>14} \
+         ({} intervals retained by the collect arm)",
+        collect.retained_records
+    );
+    println!(
+        "sweep_campaign/collect_retained_bytes    {:>14}",
+        collect.retained_bytes
+    );
+    println!(
+        "sweep_campaign/streaming_retained_bytes  {:>14}",
+        streaming.retained_bytes
+    );
+    println!(
+        "sweep_campaign/retention_ratio           {ratio:>14.2}x \
+         (acceptance floor: >= {RETENTION_FLOOR}x)"
+    );
+    println!("sweep_campaign/collect_wall              {collect_ms:>14.2} ms");
+    println!("sweep_campaign/streaming_wall            {streaming_ms:>14.2} ms");
+
+    if !test_mode {
+        write_bench_json(
+            cells,
+            collect.retained_bytes,
+            streaming.retained_bytes,
+            ratio,
+            collect_ms,
+            streaming_ms,
+        );
+        assert!(
+            ratio >= RETENTION_FLOOR,
+            "streaming retention regressed to {ratio:.2}x below the collect \
+             arm (floor: {RETENTION_FLOOR}x)"
+        );
+    }
+    // Keep the summaries alive past the measurement so the retained-bytes
+    // accounting reflects live data.
+    let mean_power: f64 = streaming
+        .reports
+        .iter()
+        .filter_map(|r| r.as_ref().ok())
+        .map(|r| r.summary.mean_platform_power_w)
+        .sum::<f64>()
+        / cells as f64;
+    assert!(mean_power.is_finite());
+    let _ = std::mem::size_of::<RunSummary>();
+}
+
+/// Records the measured numbers for tracking (`BENCH_sweep_campaign.json`).
+fn write_bench_json(
+    cells: usize,
+    collect_bytes: usize,
+    streaming_bytes: usize,
+    ratio: f64,
+    collect_ms: f64,
+    streaming_ms: f64,
+) {
+    let json = format!(
+        "{{\n  \"bench\": \"sweep_campaign\",\n  \"cells\": {cells},\n  \
+         \"lanes\": {LANES},\n  \
+         \"max_duration_s\": {FULL_DURATION_S},\n  \
+         \"collect_retained_bytes\": {collect_bytes},\n  \
+         \"streaming_retained_bytes\": {streaming_bytes},\n  \
+         \"retention_ratio\": {ratio:.3},\n  \
+         \"collect_wall_ms\": {collect_ms:.2},\n  \
+         \"streaming_wall_ms\": {streaming_ms:.2},\n  \
+         \"floor\": {RETENTION_FLOOR}\n}}\n"
+    );
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_sweep_campaign.json"
+    );
+    if let Err(e) = std::fs::write(path, json) {
+        eprintln!("warning: could not write {path}: {e}");
+    }
+}

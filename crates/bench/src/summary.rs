@@ -5,7 +5,8 @@ use std::fmt::Write as _;
 
 use dtpm::{distribute_budget, DistributionMethod, ResourceLoad};
 use platform_sim::{
-    BenchmarkComparison, ExperimentConfig, ExperimentKind, ScenarioSweep, SimError,
+    BenchmarkComparison, CollectSink, ExperimentConfig, ExperimentKind, RunSummary, ScenarioSweep,
+    SimError, TracePolicy,
 };
 use soc_model::{OppTable, SocSpec};
 use workload::{BenchmarkCategory, BenchmarkId};
@@ -73,8 +74,10 @@ fn summary_rows(
 ) -> Result<(String, Vec<(BenchmarkId, BenchmarkComparison)>), SimError> {
     // Every benchmark needs a fan-cooled baseline run and a DTPM run; the
     // pairs are independent closed-loop simulations, so fan them all out over
-    // the scenario sweep's worker threads (results are deterministic and come
-    // back in input order).
+    // the scenario sweep's worker threads. The figures only need each run's
+    // summary (mean power, execution time, stability), so the sweep streams
+    // summaries-only: nothing per-interval is retained across the whole
+    // benchmark set.
     let mut configs = Vec::with_capacity(benchmarks.len() * 2);
     for &benchmark in benchmarks {
         configs.push(config_for(
@@ -84,9 +87,14 @@ fn summary_rows(
         ));
         configs.push(config_for(context, ExperimentKind::Dtpm, benchmark));
     }
-    let mut results = ScenarioSweep::new(configs)
-        .run(&context.calibration)
-        .into_iter();
+    let mut sink = CollectSink::new(configs.len());
+    ScenarioSweep::new(configs)
+        .with_recording(TracePolicy::SummaryOnly)
+        .run_into(&context.calibration, &mut sink);
+    let mut results = sink
+        .into_reports()
+        .into_iter()
+        .map(|report| report.map(|report| report.summary));
 
     let mut out = String::new();
     let _ = writeln!(
@@ -96,10 +104,10 @@ fn summary_rows(
     );
     let mut rows = Vec::new();
     for &benchmark in benchmarks {
-        let baseline = results.next().expect("one result per config")?;
-        let dtpm = results.next().expect("one result per config")?;
-        let cmp = BenchmarkComparison::against_baseline(&baseline, &dtpm);
-        let peak = dtpm.trace.temperature_summary().max;
+        let baseline: RunSummary = results.next().expect("one result per config")?;
+        let dtpm: RunSummary = results.next().expect("one result per config")?;
+        let cmp = BenchmarkComparison::from_summaries(&baseline, &dtpm);
+        let peak = dtpm.stability.peak_temp_c;
         let _ = writeln!(
             out,
             "  {:<14} {:<8} {:>14.1} {:>16.1} {:>12.1}",

@@ -6,7 +6,7 @@
 //! * dense linear algebra for the discrete thermal state-space model
 //!   `T[k+1] = As·T[k] + Bs·P[k]` ([`Matrix`], [`Vector`]),
 //! * linear least squares for system identification of `As` and `Bs`
-//!   ([`lstsq`]),
+//!   ([`lstsq`](mod@lstsq)),
 //! * nonlinear least squares for fitting the leakage model
 //!   `I_leak = c1·T²·e^(c2/T) + I_gate` to furnace measurements ([`fit`]).
 //!
@@ -54,4 +54,4 @@ pub use lstsq::{lstsq, ridge_lstsq};
 pub use matrix::{Matrix, Vector};
 pub use panel::{affine_pair_apply, Panel, LANE_CHUNK};
 pub use solve::LuDecomposition;
-pub use stats::Summary;
+pub use stats::{Summary, Welford};

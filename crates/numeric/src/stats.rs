@@ -64,6 +64,120 @@ impl Summary {
     }
 }
 
+/// Streaming (single-pass) accumulator for the [`Summary`] statistics:
+/// Welford's online mean/variance recurrence plus running min/max.
+///
+/// Folding a series sample-by-sample produces the same mean/min/max as the
+/// two-pass [`Summary::of`] (bit-identical for min/max) and a variance within
+/// numerical noise of it, while retaining O(1) state — the building block the
+/// simulation crate's online run metrics use to summarise a run without
+/// keeping its per-interval trace in memory.
+///
+/// # Example
+///
+/// ```
+/// use numeric::stats::Welford;
+///
+/// let mut w = Welford::new();
+/// for x in [1.0, 2.0, 3.0, 4.0] {
+///     w.push(x);
+/// }
+/// assert_eq!(w.mean(), 2.5);
+/// assert_eq!(w.max() - w.min(), 3.0);
+/// ```
+// Deliberately not serde-derived: an empty accumulator's ±∞ min/max
+// sentinels do not round-trip through JSON-style formats. Serialise the
+// finished [`Summary`] instead.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Welford {
+    count: usize,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Welford {
+    /// An empty accumulator.
+    pub fn new() -> Welford {
+        Welford {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Folds one sample into the running statistics.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of samples folded in so far.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Returns `true` if no samples have been folded in.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Running arithmetic mean; 0 for an empty accumulator.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Running population variance; 0 for fewer than two samples.
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Running minimum; `+∞` for an empty accumulator.
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Running maximum; `−∞` for an empty accumulator.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// The accumulated statistics as a [`Summary`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the accumulator is empty, mirroring [`Summary::of`].
+    pub fn summary(&self) -> Summary {
+        assert!(self.count > 0, "cannot summarise an empty series");
+        let variance = self.variance();
+        Summary {
+            count: self.count,
+            mean: self.mean,
+            variance,
+            std_dev: variance.sqrt(),
+            min: self.min,
+            max: self.max,
+        }
+    }
+}
+
+impl Default for Welford {
+    fn default() -> Self {
+        Welford::new()
+    }
+}
+
 /// Arithmetic mean of the samples; returns 0 for an empty slice.
 pub fn mean(samples: &[f64]) -> f64 {
     if samples.is_empty() {
@@ -262,6 +376,63 @@ mod tests {
     fn fit_percentage_constant_actual() {
         assert_eq!(fit_percentage(&[5.0, 5.0], &[5.0, 5.0]), 100.0);
         assert_eq!(fit_percentage(&[4.0, 6.0], &[5.0, 5.0]), 0.0);
+    }
+
+    #[test]
+    fn welford_matches_two_pass_summary() {
+        // Deterministic pseudo-random series (LCG), a few magnitudes.
+        let mut x = 0x2545F4914F6CDD1Du64;
+        for scale in [1.0, 60.0, 1e6] {
+            let mut samples = Vec::new();
+            let mut w = Welford::new();
+            for _ in 0..1000 {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let v = scale * (x >> 11) as f64 / (1u64 << 53) as f64;
+                samples.push(v);
+                w.push(v);
+            }
+            let two_pass = Summary::of(&samples);
+            let online = w.summary();
+            assert_eq!(online.count, two_pass.count);
+            assert_eq!(online.min, two_pass.min, "min is a plain running fold");
+            assert_eq!(online.max, two_pass.max, "max is a plain running fold");
+            assert!(
+                (online.mean - two_pass.mean).abs() <= 1e-12 * scale,
+                "mean {} vs {}",
+                online.mean,
+                two_pass.mean
+            );
+            assert!(
+                (online.variance - two_pass.variance).abs() <= 1e-9 * scale * scale,
+                "variance {} vs {}",
+                online.variance,
+                two_pass.variance
+            );
+        }
+    }
+
+    #[test]
+    fn welford_edge_cases() {
+        let w = Welford::new();
+        assert!(w.is_empty());
+        assert_eq!(w.mean(), 0.0);
+        assert_eq!(w.variance(), 0.0);
+        assert_eq!(w.min(), f64::INFINITY);
+        assert_eq!(w.max(), f64::NEG_INFINITY);
+        let mut w = Welford::default();
+        w.push(3.0);
+        assert_eq!(w.count(), 1);
+        assert_eq!(w.mean(), 3.0);
+        assert_eq!(w.variance(), 0.0);
+        assert_eq!((w.min(), w.max()), (3.0, 3.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn welford_summary_of_empty_panics() {
+        Welford::new().summary();
     }
 
     #[test]

@@ -141,7 +141,7 @@ pub struct LeakagePanel {
 
 impl LeakagePanel {
     /// How many micro-steps an anchor stays valid before
-    /// [`LeakagePanel::anchor`] must refresh it. At the plant's worst-case
+    /// `LeakagePanel::anchor` must refresh it. At the plant's worst-case
     /// drift (~0.06 K per 10 ms micro-step) the exponent moves ~2e-3 per
     /// step, so 16 steps keep `|a − a0| < 0.05` with a wide margin.
     pub const REANCHOR_STEPS: usize = 16;

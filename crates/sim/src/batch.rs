@@ -23,7 +23,7 @@
 //! per-lane transition apply that is bit-identical to the panel path, so
 //! divergence affects speed, never results.
 //!
-//! Trajectories match the scalar [`PhysicalPlant`] to well below 1e-9 °C over
+//! Trajectories match the scalar [`PhysicalPlant`](crate::PhysicalPlant) to well below 1e-9 °C over
 //! full runs (the integrator is bit-identical; the leakage linearisation and
 //! anchored exponential reassociate a few floating-point operations), which
 //! the equivalence suite in `tests/equivalence.rs` pins down.

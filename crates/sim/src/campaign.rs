@@ -1,0 +1,467 @@
+//! Declarative sweep campaigns: a serde-able grid specification expanded
+//! lazily into experiment configurations and streamed through the
+//! lane-compacting sweep.
+//!
+//! The paper's evaluation is itself a grid — {baseline, reactive, DTPM} ×
+//! 15 benchmarks × ambient/fan conditions (Figures 6.5/6.9/6.10) — and the
+//! calibration/characterisation studies of the related work explore the
+//! power–temperature state space over exactly such grids. [`SweepSpec`]
+//! declares one: a cartesian product of configuration axes
+//! (ExperimentKinds × benchmarks × ambients × replicates × DTPM variants)
+//! with deterministic per-cell seed derivation, so a campaign is a small
+//! value that can be serialised, reviewed, and re-run bit-identically.
+//!
+//! Three properties matter at scale:
+//!
+//! * **Lazy expansion.** A cell's [`ExperimentConfig`] is materialised by
+//!   [`SweepSpec::cell`] from its linear index on demand — workers claim an
+//!   index and build the cell; a million-cell campaign never holds a
+//!   million configs.
+//! * **Order-independent seeding.** Cell seeds are
+//!   [`splitmix64`]`(campaign_seed + cell_index)`: a bijective hash of the
+//!   cell's coordinates, not a sequentially-stepped RNG — so every cell's
+//!   seed is distinct, stable across runs, and independent of the order (or
+//!   subset) in which cells execute.
+//! * **Streaming results.** [`CampaignRunner::run_into`] drives the grid
+//!   through the compacting sweep scheduler into a
+//!   [`crate::experiment::ResultSink`], summaries-only by default: retained
+//!   memory is O(cells), never O(cells × intervals).
+
+use dtpm::DtpmConfig;
+use serde::{Deserialize, Serialize};
+use workload::BenchmarkId;
+
+use crate::calibrate::Calibration;
+use crate::experiment::{sweep_stream, ExperimentConfig, ExperimentKind, ResultSink};
+use crate::observer::TracePolicy;
+use crate::plant::PlantPowerParams;
+
+/// SplitMix64: the finalising mix of a 64-bit counter into a well-distributed
+/// 64-bit value (Steele et al., *Fast splittable pseudorandom number
+/// generators*). It is a bijection on `u64`, which is exactly the property
+/// grid seeding needs: distinct cell indices provably derive distinct seeds.
+pub fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E3779B97F4A7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// One point on a campaign's DTPM-variant axis: the prediction horizon and
+/// the temperature constraint, the two knobs the paper's sensitivity
+/// discussions vary. Non-DTPM kinds ignore this axis — declare a single
+/// variant when mixing kinds, or the grid runs redundant baseline cells.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DtpmVariant {
+    /// Prediction horizon in control intervals.
+    pub horizon_steps: usize,
+    /// Maximum permissible hotspot temperature, °C.
+    pub constraint_c: f64,
+}
+
+impl Default for DtpmVariant {
+    /// The paper's evaluated configuration: 10 × 100 ms horizon, 63 °C.
+    fn default() -> Self {
+        let base = DtpmConfig::default();
+        DtpmVariant {
+            horizon_steps: base.prediction_horizon_steps,
+            constraint_c: base.temperature_constraint_c,
+        }
+    }
+}
+
+impl DtpmVariant {
+    /// This variant applied over a base DTPM configuration.
+    pub fn apply(self, mut base: DtpmConfig) -> DtpmConfig {
+        base.prediction_horizon_steps = self.horizon_steps;
+        base.temperature_constraint_c = self.constraint_c;
+        base
+    }
+}
+
+/// A declarative sweep campaign: the cartesian product of configuration
+/// axes, expanded lazily into [`ExperimentConfig`]s with deterministic
+/// per-cell seeds (see the [module docs](self)).
+///
+/// Cells are ordered kind-major: the linear index decomposes as
+/// kinds × benchmarks × ambients × variants × replicates, with the
+/// replicate axis fastest. Every cell shares the campaign's scalar
+/// parameters (control period, duration cap, plant, sensors), so a whole
+/// grid steps in lockstep through the batched engines.
+///
+/// # Example
+///
+/// ```no_run
+/// use platform_sim::{CalibrationCampaign, CollectSink, ExperimentKind, SweepSpec};
+/// use workload::BenchmarkId;
+///
+/// # fn main() -> Result<(), platform_sim::SimError> {
+/// let calibration = CalibrationCampaign::default().run(7)?;
+/// let spec = SweepSpec::new(
+///     vec![ExperimentKind::DefaultWithFan, ExperimentKind::Dtpm],
+///     BenchmarkId::paper_set().collect(),
+/// )
+/// .with_ambients_c(vec![24.0, 28.0, 32.0])
+/// .with_replicates(4);
+/// assert_eq!(spec.cells(), 2 * 15 * 3 * 4);
+/// let mut sink = CollectSink::new(spec.cells());
+/// spec.runner().with_lanes(8).run_into(&calibration, &mut sink);
+/// // Summaries only: no run retained its per-interval trace.
+/// assert!(sink
+///     .into_reports()
+///     .iter()
+///     .all(|r| r.as_ref().map(|r| r.trace.is_none()).unwrap_or(true)));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepSpec {
+    /// The thermal-management configurations to run (grid axis 1).
+    pub kinds: Vec<ExperimentKind>,
+    /// The benchmarks to run (grid axis 2).
+    pub benchmarks: Vec<BenchmarkId>,
+    /// Ambient temperatures, °C (grid axis 3).
+    pub ambients_c: Vec<f64>,
+    /// DTPM algorithm variants (grid axis 4; ignored by non-DTPM kinds).
+    pub dtpm_variants: Vec<DtpmVariant>,
+    /// Replicate runs per grid point (grid axis 5, the seed axis): each
+    /// replicate derives a distinct per-cell seed.
+    pub replicates: usize,
+    /// Campaign master seed every cell seed is derived from.
+    pub campaign_seed: u64,
+    /// Base DTPM configuration the variants override.
+    pub base_dtpm: DtpmConfig,
+    /// Control interval shared by every cell, seconds.
+    pub control_period_s: f64,
+    /// Duration cap shared by every cell, seconds.
+    pub max_duration_s: f64,
+    /// Plant (true silicon) parameters shared by every cell.
+    pub plant: PlantPowerParams,
+    /// Use ideal (noise-free) sensors in every cell.
+    pub ideal_sensors: bool,
+}
+
+impl SweepSpec {
+    /// A campaign over the given kind and benchmark axes with the paper's
+    /// defaults everywhere else: one ambient (28 °C), one (default) DTPM
+    /// variant, one replicate, campaign seed 1.
+    pub fn new(kinds: Vec<ExperimentKind>, benchmarks: Vec<BenchmarkId>) -> SweepSpec {
+        let defaults = ExperimentConfig::new(ExperimentKind::Dtpm, BenchmarkId::Basicmath);
+        SweepSpec {
+            kinds,
+            benchmarks,
+            ambients_c: vec![defaults.ambient_c],
+            dtpm_variants: vec![DtpmVariant::default()],
+            replicates: 1,
+            campaign_seed: 1,
+            base_dtpm: defaults.dtpm,
+            control_period_s: defaults.control_period_s,
+            max_duration_s: defaults.max_duration_s,
+            plant: defaults.plant,
+            ideal_sensors: defaults.ideal_sensors,
+        }
+    }
+
+    /// Replaces the ambient-temperature axis.
+    #[must_use]
+    pub fn with_ambients_c(mut self, ambients_c: Vec<f64>) -> Self {
+        self.ambients_c = ambients_c;
+        self
+    }
+
+    /// Replaces the DTPM-variant axis.
+    #[must_use]
+    pub fn with_dtpm_variants(mut self, dtpm_variants: Vec<DtpmVariant>) -> Self {
+        self.dtpm_variants = dtpm_variants;
+        self
+    }
+
+    /// Sets the replicate (seed-axis) count.
+    #[must_use]
+    pub fn with_replicates(mut self, replicates: usize) -> Self {
+        self.replicates = replicates;
+        self
+    }
+
+    /// Sets the campaign master seed.
+    #[must_use]
+    pub fn with_campaign_seed(mut self, campaign_seed: u64) -> Self {
+        self.campaign_seed = campaign_seed;
+        self
+    }
+
+    /// Sets the per-cell duration cap, seconds.
+    #[must_use]
+    pub fn with_max_duration_s(mut self, max_duration_s: f64) -> Self {
+        self.max_duration_s = max_duration_s;
+        self
+    }
+
+    /// Uses ideal (noise-free) sensors in every cell.
+    #[must_use]
+    pub fn with_ideal_sensors(mut self, ideal_sensors: bool) -> Self {
+        self.ideal_sensors = ideal_sensors;
+        self
+    }
+
+    /// Number of grid cells: the product of every axis length (zero if any
+    /// axis is empty).
+    pub fn cells(&self) -> usize {
+        self.kinds.len()
+            * self.benchmarks.len()
+            * self.ambients_c.len()
+            * self.dtpm_variants.len()
+            * self.replicates
+    }
+
+    /// Returns `true` if the grid has no cells.
+    pub fn is_empty(&self) -> bool {
+        self.cells() == 0
+    }
+
+    /// The derived seed of cell `index`: [`splitmix64`] of the campaign seed
+    /// plus the cell's linear index — distinct per cell (SplitMix64 is a
+    /// bijection), stable across runs, independent of execution order.
+    pub fn cell_seed(&self, index: usize) -> u64 {
+        splitmix64(self.campaign_seed.wrapping_add(index as u64))
+    }
+
+    /// Materialises cell `index` of the grid (kind-major order, replicates
+    /// fastest).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn cell(&self, index: usize) -> ExperimentConfig {
+        assert!(index < self.cells(), "cell index out of range");
+        let mut rem = index;
+        let replicate = rem % self.replicates;
+        rem /= self.replicates;
+        let variant = self.dtpm_variants[rem % self.dtpm_variants.len()];
+        rem /= self.dtpm_variants.len();
+        let ambient_c = self.ambients_c[rem % self.ambients_c.len()];
+        rem /= self.ambients_c.len();
+        let benchmark = self.benchmarks[rem % self.benchmarks.len()];
+        rem /= self.benchmarks.len();
+        let kind = self.kinds[rem];
+        let _ = replicate; // Distinguished through the derived seed alone.
+        let mut config = ExperimentConfig::new(kind, benchmark);
+        config.seed = self.cell_seed(index);
+        config.ambient_c = ambient_c;
+        config.dtpm = variant.apply(self.base_dtpm);
+        config.control_period_s = self.control_period_s;
+        config.max_duration_s = self.max_duration_s;
+        config.plant = self.plant;
+        config.ideal_sensors = self.ideal_sensors;
+        config
+    }
+
+    /// Lazy iterator over every cell of the grid, in linear-index order.
+    pub fn expand(&self) -> impl Iterator<Item = ExperimentConfig> + '_ {
+        (0..self.cells()).map(|index| self.cell(index))
+    }
+
+    /// A runner for this campaign (streaming, summaries-only by default).
+    pub fn runner(&self) -> CampaignRunner<'_> {
+        let parallelism = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        CampaignRunner {
+            spec: self,
+            threads: parallelism.min(self.cells()).max(1),
+            lanes: 1,
+            recording: TracePolicy::SummaryOnly,
+        }
+    }
+}
+
+/// Executes a [`SweepSpec`] through the lane-compacting sweep scheduler into
+/// a [`ResultSink`], expanding cells lazily as workers claim them.
+///
+/// Built by [`SweepSpec::runner`]; defaults to one worker per available CPU,
+/// scalar lanes, and [`TracePolicy::SummaryOnly`] — the configuration whose
+/// retained memory is O(cells) regardless of run lengths.
+#[derive(Debug, Clone)]
+pub struct CampaignRunner<'a> {
+    spec: &'a SweepSpec,
+    threads: usize,
+    lanes: usize,
+    recording: TracePolicy,
+}
+
+impl CampaignRunner<'_> {
+    /// Overrides the worker-thread count (clamped to at least one).
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Sets the batch width: every worker drives a panel engine of this many
+    /// lanes, refilling freed lanes from the shared cell queue.
+    #[must_use]
+    pub fn with_lanes(mut self, lanes: usize) -> Self {
+        self.lanes = lanes.max(1);
+        self
+    }
+
+    /// Sets what each cell's run retains per interval (default:
+    /// [`TracePolicy::SummaryOnly`]).
+    #[must_use]
+    pub fn with_recording(mut self, recording: TracePolicy) -> Self {
+        self.recording = recording;
+        self
+    }
+
+    /// The worker-thread count the runner will use.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The batch width (cells advanced per instruction stream).
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// The per-run trace-retention policy.
+    pub fn recording(&self) -> TracePolicy {
+        self.recording
+    }
+
+    /// Runs every cell of the grid, pushing each cell's report into `sink`
+    /// (tagged with the cell's linear index) as its lane retires. Cells are
+    /// materialised lazily when claimed; individual cell failures do not
+    /// abort the campaign.
+    pub fn run_into<S>(&self, calibration: &Calibration, sink: &mut S)
+    where
+        S: ResultSink + Send + ?Sized,
+    {
+        let spec = self.spec;
+        // Every cell shares the campaign's control period: one lockstep
+        // group over the whole grid.
+        let groups = [(spec.control_period_s, spec.cells())];
+        let provider = |_group: usize, index: usize| -> (usize, ExperimentConfig) {
+            (index, spec.cell(index))
+        };
+        let sink = std::sync::Mutex::new(sink);
+        sweep_stream(
+            self.threads,
+            self.lanes,
+            &groups,
+            self.recording,
+            &provider,
+            calibration,
+            &sink,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> SweepSpec {
+        SweepSpec::new(
+            vec![ExperimentKind::DefaultWithFan, ExperimentKind::Dtpm],
+            vec![BenchmarkId::Crc32, BenchmarkId::Qsort, BenchmarkId::Sha],
+        )
+        .with_ambients_c(vec![24.0, 30.0])
+        .with_dtpm_variants(vec![
+            DtpmVariant::default(),
+            DtpmVariant {
+                horizon_steps: 20,
+                constraint_c: 60.0,
+            },
+        ])
+        .with_replicates(3)
+        .with_campaign_seed(0xC0FFEE)
+    }
+
+    #[test]
+    fn cell_count_is_the_axis_product() {
+        let spec = spec();
+        assert_eq!(spec.cells(), 2 * 3 * 2 * 2 * 3);
+        assert!(!spec.is_empty());
+        assert!(SweepSpec::new(vec![], vec![BenchmarkId::Crc32]).is_empty());
+        assert_eq!(spec.expand().count(), spec.cells());
+    }
+
+    #[test]
+    fn expansion_covers_the_full_cartesian_product() {
+        let spec = spec();
+        let mut seen = std::collections::HashSet::new();
+        for config in spec.expand() {
+            // (kind, benchmark, ambient bits, horizon, constraint bits, seed)
+            // identifies the coordinates; replicates differ by seed.
+            seen.insert((
+                config.kind,
+                config.benchmark,
+                config.ambient_c.to_bits(),
+                config.dtpm.prediction_horizon_steps,
+                config.dtpm.temperature_constraint_c.to_bits(),
+                config.seed,
+            ));
+            assert_eq!(config.control_period_s, spec.control_period_s);
+            assert_eq!(config.max_duration_s, spec.max_duration_s);
+        }
+        assert_eq!(seen.len(), spec.cells(), "every cell is distinct");
+    }
+
+    #[test]
+    fn cell_seeds_are_distinct_deterministic_and_order_independent() {
+        let spec = spec();
+        let forward: Vec<u64> = (0..spec.cells()).map(|i| spec.cell_seed(i)).collect();
+        // Distinct (SplitMix64 is a bijection over the index range).
+        let unique: std::collections::HashSet<u64> = forward.iter().copied().collect();
+        assert_eq!(unique.len(), forward.len());
+        // Independent of iteration order: reverse-order derivation agrees.
+        for (i, &seed) in forward.iter().enumerate().rev() {
+            assert_eq!(spec.cell_seed(i), seed);
+            assert_eq!(spec.cell(i).seed, seed);
+        }
+        // Stable across spec clones (pure function of seed + index).
+        let again = spec.clone();
+        assert!((0..again.cells()).all(|i| again.cell_seed(i) == forward[i]));
+        // A different campaign seed moves every cell.
+        let other = spec.with_campaign_seed(0xBEEF);
+        assert!((0..other.cells()).all(|i| other.cell_seed(i) != forward[i]));
+    }
+
+    #[test]
+    fn lazy_and_eager_expansion_agree() {
+        let spec = spec();
+        let eager: Vec<ExperimentConfig> = spec.expand().collect();
+        for (i, config) in eager.iter().enumerate() {
+            assert_eq!(&spec.cell(i), config);
+        }
+    }
+
+    #[test]
+    fn variants_apply_over_the_base_dtpm_config() {
+        let mut spec = spec();
+        spec.base_dtpm.min_big_cores = 1;
+        let config = spec.cell(spec.cells() - 1);
+        assert_eq!(config.dtpm.min_big_cores, 1, "base carries through");
+        assert_eq!(config.dtpm.prediction_horizon_steps, 20, "variant applies");
+        assert_eq!(config.dtpm.temperature_constraint_c, 60.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_cell_panics() {
+        let spec = spec();
+        spec.cell(spec.cells());
+    }
+
+    #[test]
+    fn splitmix64_reference_values() {
+        // Canonical SplitMix64 outputs (first outputs of streams seeded at
+        // 0, 1 and 1234567).
+        assert_eq!(splitmix64(0), 0xE220_A839_7B1D_CDAF);
+        assert_eq!(splitmix64(1), 0x910A_2DEC_8902_5CC1);
+        assert_eq!(splitmix64(1_234_567), 0x599E_D017_FB08_FC85);
+        // Bijectivity smoke: consecutive inputs do not collide.
+        let outputs: std::collections::HashSet<u64> = (0..10_000u64).map(splitmix64).collect();
+        assert_eq!(outputs.len(), 10_000);
+    }
+}

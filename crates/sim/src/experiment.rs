@@ -26,6 +26,8 @@ use workload::{BenchmarkId, Demand, WorkloadState};
 
 use crate::calibrate::Calibration;
 use crate::engine::{LaneInput, PanelEngine, PlantEngine, ScalarEngine};
+use crate::metrics::RunSummary;
+use crate::observer::{OnlineRunStats, RunObserver, TracePolicy};
 use crate::plant::{PlantPowerParams, PlantStep};
 use crate::sensors::{SensorReadings, SensorSuite};
 use crate::trace::{Trace, TraceRecord};
@@ -118,6 +120,50 @@ impl ExperimentConfig {
     }
 }
 
+/// What one retired run reports through the streaming pipeline: its always-
+/// streamed [`RunSummary`] plus whatever trajectory its observer retained
+/// (full under [`TracePolicy::Full`], coarse under
+/// [`TracePolicy::Decimated`], none under [`TracePolicy::SummaryOnly`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunReport {
+    /// The streamed per-run summary (O(1) in the run length).
+    pub summary: RunSummary,
+    /// The retained trajectory, if the run's [`TracePolicy`] kept one.
+    pub trace: Option<Trace>,
+}
+
+impl RunReport {
+    /// Converts a trace-retaining report into the classic
+    /// [`SimulationResult`]. Under [`TracePolicy::Decimated`] the result's
+    /// trace is the retained coarse one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run retained no trace ([`TracePolicy::SummaryOnly`]);
+    /// use [`RunReport::summary`] directly in streaming pipelines.
+    pub fn into_simulation_result(self) -> SimulationResult {
+        let trace = self
+            .trace
+            .expect("run retained no trace (TracePolicy::SummaryOnly); use the summary instead");
+        let RunSummary {
+            config,
+            completed,
+            execution_time_s,
+            energy_j,
+            mean_platform_power_w,
+            ..
+        } = self.summary;
+        SimulationResult {
+            config,
+            trace,
+            execution_time_s,
+            completed,
+            mean_platform_power_w,
+            energy_j,
+        }
+    }
+}
+
 /// Outcome of one benchmark run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SimulationResult {
@@ -158,7 +204,13 @@ struct ControlLoop {
     power_model: PowerModel,
     state: PlatformState,
     readings: SensorReadings,
-    trace: Trace,
+    /// Streaming run statistics, maintained for every run regardless of the
+    /// trace policy (they cost a handful of flops per interval and make the
+    /// [`RunSummary`] unconditional).
+    stats: OnlineRunStats,
+    /// The policy-selected trace-retention observer; every absorbed interval
+    /// streams through it.
+    tracer: Box<dyn RunObserver>,
     time_s: f64,
     energy_j: f64,
     completed: bool,
@@ -205,7 +257,11 @@ struct ClassifyRequest {
 }
 
 impl ControlLoop {
-    fn new(config: &ExperimentConfig, calibration: &Calibration) -> Result<Self, SimError> {
+    fn new(
+        config: &ExperimentConfig,
+        calibration: &Calibration,
+        recording: TracePolicy,
+    ) -> Result<Self, SimError> {
         if !(config.control_period_s > 0.0) {
             return Err(SimError::InvalidConfig("control period must be positive"));
         }
@@ -259,7 +315,8 @@ impl ControlLoop {
             power_model: calibration.power_model.clone(),
             state,
             readings,
-            trace: Trace::new(),
+            stats: OnlineRunStats::new(),
+            tracer: recording.observer(),
             time_s: 0.0,
             energy_j: 0.0,
             completed: false,
@@ -490,7 +547,11 @@ impl ControlLoop {
             self.sensors
                 .sample(step.core_temps_c, &step.domain_power, step.platform_power_w);
 
-        self.trace.push(TraceRecord {
+        // Stream the interval through the observers instead of accumulating:
+        // the online stats always fold it in (O(1) state), the policy's
+        // tracer retains what its mode calls for (everything, every k-th
+        // record, or nothing).
+        let record = TraceRecord {
             time_s: self.time_s,
             core_temps_c: self.readings.core_temps_c,
             active_cluster: self.state.active_cluster,
@@ -503,7 +564,9 @@ impl ControlLoop {
             progress: self.workload.progress(),
             predicted_peak_c: decision.predicted_peak_c,
             dtpm_intervened: decision.intervened,
-        });
+        };
+        self.stats.on_interval(&record);
+        self.tracer.on_interval(&record);
 
         self.steps_taken += 1;
         if self.workload.is_complete() {
@@ -511,16 +574,23 @@ impl ControlLoop {
         }
     }
 
-    /// Consumes the loop and produces the final result.
-    fn finish(self) -> SimulationResult {
-        let mean_platform_power_w = self.trace.mean_platform_power_w();
-        SimulationResult {
-            config: self.config,
-            trace: self.trace,
-            execution_time_s: self.time_s,
-            completed: self.completed,
-            mean_platform_power_w,
-            energy_j: self.energy_j,
+    /// Consumes the loop and produces the run's report: the streamed summary
+    /// plus whatever trace the policy retained.
+    fn finish(mut self) -> RunReport {
+        let trace = self.tracer.finish();
+        RunReport {
+            summary: RunSummary {
+                config: self.config,
+                completed: self.completed,
+                execution_time_s: self.time_s,
+                intervals: self.stats.intervals(),
+                energy_j: self.energy_j,
+                mean_platform_power_w: self.stats.mean_platform_power_w(),
+                stability: self.stats.stability(),
+                intervention_rate: self.stats.intervention_rate(),
+                little_cluster_residency: self.stats.little_cluster_residency(),
+            },
+            trace,
         }
     }
 }
@@ -728,7 +798,7 @@ fn drive_engine<E, N, P>(
 ) where
     E: PlantEngine,
     N: FnMut() -> Option<(usize, ControlLoop)>,
-    P: FnMut(usize, Result<SimulationResult, SimError>),
+    P: FnMut(usize, Result<RunReport, SimError>),
 {
     debug_assert_eq!(engine.lanes(), lanes.len(), "engine width matches lanes");
     let mut steps: Vec<Result<PlantStep, SimError>> = Vec::with_capacity(lanes.len());
@@ -886,7 +956,7 @@ fn drive_engine<E, N, P>(
     }
 }
 
-/// The closed-loop simulation of one benchmark run: a [`ControlLoop`] wired
+/// The closed-loop simulation of one benchmark run: a control loop wired
 /// to a single-lane [`ScalarEngine`] and driven by the same generic executor
 /// as the batched and sweeping paths.
 #[derive(Debug)]
@@ -905,9 +975,19 @@ impl Experiment {
     ///
     /// Returns [`SimError::InvalidConfig`] for non-physical timing parameters.
     pub fn new(config: &ExperimentConfig, calibration: &Calibration) -> Result<Self, SimError> {
-        let control = ControlLoop::new(config, calibration)?;
+        let control = ControlLoop::new(config, calibration, TracePolicy::Full)?;
         let engine = ScalarEngine::new(control.spec.clone(), &[config.plant]);
         Ok(Experiment { control, engine })
+    }
+
+    /// Replaces the run's trace-retention policy (the default is
+    /// [`TracePolicy::Full`]). Under [`TracePolicy::SummaryOnly`] use
+    /// [`Experiment::run_report`] — [`Experiment::run`] needs a retained
+    /// trace.
+    #[must_use]
+    pub fn with_recording(mut self, recording: TracePolicy) -> Self {
+        self.control.tracer = recording.observer();
+        self
     }
 
     /// Runs the experiment to completion and returns the result.
@@ -915,7 +995,23 @@ impl Experiment {
     /// # Errors
     ///
     /// Propagates plant, platform and DTPM errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the experiment was switched to [`TracePolicy::SummaryOnly`]
+    /// (no trace to build the result from); use [`Experiment::run_report`].
     pub fn run(self) -> Result<SimulationResult, SimError> {
+        self.run_report().map(RunReport::into_simulation_result)
+    }
+
+    /// Runs the experiment to completion and returns its streamed report:
+    /// the always-present [`RunSummary`] plus whatever trace the recording
+    /// policy retained.
+    ///
+    /// # Errors
+    ///
+    /// Propagates plant, platform and DTPM errors.
+    pub fn run_report(self) -> Result<RunReport, SimError> {
         let Experiment {
             control,
             mut engine,
@@ -979,12 +1075,13 @@ pub struct ScenarioSweep {
     configs: Vec<ExperimentConfig>,
     threads: usize,
     lanes: usize,
+    recording: TracePolicy,
 }
 
 impl ScenarioSweep {
     /// Creates a sweep over the given configurations using one worker per
-    /// available CPU (capped at the number of configurations) and scalar
-    /// (one-lane) execution.
+    /// available CPU (capped at the number of configurations), scalar
+    /// (one-lane) execution and full trace retention.
     pub fn new(configs: Vec<ExperimentConfig>) -> Self {
         let parallelism = std::thread::available_parallelism()
             .map(std::num::NonZeroUsize::get)
@@ -993,12 +1090,24 @@ impl ScenarioSweep {
             threads: parallelism.min(configs.len()).max(1),
             configs,
             lanes: 1,
+            recording: TracePolicy::Full,
         }
     }
 
     /// Overrides the worker-thread count (clamped to at least one).
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
+        self
+    }
+
+    /// Sets what each run retains per interval: full traces (the default),
+    /// decimated coarse traces, or streamed summaries only — the knob that
+    /// decouples a campaign's memory footprint from its scenario count.
+    /// [`TracePolicy::SummaryOnly`] requires streaming through
+    /// [`ScenarioSweep::run_into`]; [`ScenarioSweep::run`] builds its
+    /// [`SimulationResult`]s from retained traces.
+    pub fn with_recording(mut self, recording: TracePolicy) -> Self {
+        self.recording = recording;
         self
     }
 
@@ -1027,29 +1136,78 @@ impl ScenarioSweep {
         self.lanes
     }
 
+    /// The per-run trace-retention policy [`ScenarioSweep::run_into`] uses.
+    pub fn recording(&self) -> TracePolicy {
+        self.recording
+    }
+
     /// Runs every configuration and returns one result per configuration, in
     /// input order. Individual failures do not abort the sweep.
     ///
-    /// Scenarios are handed out one at a time from a shared atomic queue;
-    /// each worker admits them into the freed lanes of its engine as earlier
-    /// scenarios finish (see the type-level docs) and publishes results
-    /// through per-slot [`std::sync::OnceLock`]s, so result storage never
-    /// serialises workers.
+    /// This is the trivial-sink instantiation of the streaming pipeline: the
+    /// sweep runs under its trace-retaining [`ScenarioSweep::with_recording`]
+    /// policy into a [`CollectSink`] and the collected reports become
+    /// [`SimulationResult`]s — under the default [`TracePolicy::Full`],
+    /// memory scales as scenarios × intervals (a
+    /// [`TracePolicy::Decimated`] sweep's results carry the coarse traces).
+    /// Campaigns that only need per-run summaries should stream through
+    /// [`ScenarioSweep::run_into`] with [`TracePolicy::SummaryOnly`]
+    /// instead, which retains O(1) per scenario.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sweep was configured with [`TracePolicy::SummaryOnly`]:
+    /// there would be no traces to build the results from — stream through
+    /// [`ScenarioSweep::run_into`].
     pub fn run(&self, calibration: &Calibration) -> Vec<Result<SimulationResult, SimError>> {
-        let count = self.configs.len();
-        if count == 0 {
-            return Vec::new();
-        }
-        let slots: Vec<std::sync::OnceLock<Result<SimulationResult, SimError>>> =
-            (0..count).map(|_| std::sync::OnceLock::new()).collect();
+        assert!(
+            self.recording != TracePolicy::SummaryOnly,
+            "ScenarioSweep::run builds SimulationResults from retained traces; \
+             stream a TracePolicy::SummaryOnly sweep through run_into instead"
+        );
+        let mut sink = CollectSink::new(self.configs.len());
+        self.run_groups(calibration, self.recording, &mut sink);
+        sink.into_reports()
+            .into_iter()
+            .map(|report| report.map(RunReport::into_simulation_result))
+            .collect()
+    }
 
+    /// Runs every configuration, pushing each scenario's [`RunReport`] into
+    /// `sink` as its lane retires — tagged with the scenario's input-order
+    /// index, in *arrival* order (scenarios on other workers finish
+    /// whenever they finish). What each report carries is governed by
+    /// [`ScenarioSweep::with_recording`]; with
+    /// [`TracePolicy::SummaryOnly`] the sweep's memory footprint is O(1) per
+    /// in-flight lane plus whatever the sink keeps, independent of run
+    /// lengths — scenario count is no longer bounded by trace memory.
+    ///
+    /// The sink is shared by all workers behind a mutex; it is locked once
+    /// per scenario completion (not per interval), so sink contention is
+    /// negligible against simulation work.
+    pub fn run_into<S>(&self, calibration: &Calibration, sink: &mut S)
+    where
+        S: ResultSink + Send + ?Sized,
+    {
+        self.run_groups(calibration, self.recording, sink);
+    }
+
+    /// Shared body of [`ScenarioSweep::run`] / [`ScenarioSweep::run_into`]:
+    /// partition into shared-period groups and stream each group through the
+    /// lane-compacting scheduler.
+    fn run_groups<S>(&self, calibration: &Calibration, recording: TracePolicy, sink: &mut S)
+    where
+        S: ResultSink + Send + ?Sized,
+    {
+        if self.configs.is_empty() {
+            return;
+        }
         // Lockstep needs a shared control period: partition the scenario
-        // indices into per-period groups (almost always exactly one). Every
-        // worker sweeps the groups in order, draining each group's shared
-        // queue before flowing into the next, so a sweep over many distinct
-        // periods (e.g. a control-period sensitivity axis) still keeps the
-        // whole thread pool busy — workers that find a group's queue already
-        // drained skip ahead immediately.
+        // indices into per-period groups (almost always exactly one). One
+        // worker pool sweeps the groups in order, draining each group's
+        // shared queue before flowing into the next, so a sweep over many
+        // distinct periods still keeps the whole pool busy — workers that
+        // find a group's queue already drained skip ahead immediately.
         let mut groups: Vec<(u64, Vec<usize>)> = Vec::new();
         for (index, config) in self.configs.iter().enumerate() {
             let bits = config.control_period_s.to_bits();
@@ -1058,96 +1216,186 @@ impl ScenarioSweep {
                 None => groups.push((bits, vec![index])),
             }
         }
-        let cursors: Vec<std::sync::atomic::AtomicUsize> = groups
+        let group_meta: Vec<(f64, usize)> = groups
             .iter()
-            .map(|_| std::sync::atomic::AtomicUsize::new(0))
+            .map(|(_, group)| (self.configs[group[0]].control_period_s, group.len()))
             .collect();
-
-        let worker = || {
-            for ((_, group), cursor) in groups.iter().zip(&cursors) {
-                self.drain_group(group, cursor, calibration, &slots);
-            }
+        let provider = |group: usize, k: usize| -> (usize, ExperimentConfig) {
+            let slot = groups[group].1[k];
+            (slot, self.configs[slot].clone())
         };
-        if self.threads == 1 {
-            worker();
-        } else {
-            std::thread::scope(|scope| {
-                for _ in 0..self.threads.min(count) {
-                    scope.spawn(worker);
-                }
-            });
-        }
+        let sink = std::sync::Mutex::new(sink);
+        sweep_stream(
+            self.threads,
+            self.lanes,
+            &group_meta,
+            recording,
+            &provider,
+            calibration,
+            &sink,
+        );
+    }
+}
 
-        slots
-            .into_iter()
-            .map(|slot| slot.into_inner().expect("every sweep slot is filled"))
-            .collect()
+/// Destination of a streaming sweep's per-scenario reports.
+///
+/// [`ResultSink::accept`] is called exactly once per scenario, tagged with
+/// the scenario's input-order index, as lanes retire (arrival order is not
+/// input order across workers). Sinks aggregate however they like: collect
+/// everything ([`CollectSink`]), fold summaries into running statistics,
+/// write rows to disk — the pipeline itself retains nothing.
+pub trait ResultSink {
+    /// Accepts scenario `index`'s report (or its failure). Individual
+    /// failures do not abort a sweep, so sinks see every index exactly once.
+    fn accept(&mut self, index: usize, outcome: Result<RunReport, SimError>);
+}
+
+/// The trivial sink: collects every report into its input-order slot.
+#[derive(Debug, Default)]
+pub struct CollectSink {
+    slots: Vec<Option<Result<RunReport, SimError>>>,
+}
+
+impl CollectSink {
+    /// A sink with one empty slot per expected scenario.
+    pub fn new(count: usize) -> CollectSink {
+        CollectSink {
+            slots: (0..count).map(|_| None).collect(),
+        }
     }
 
-    /// One worker's pass over one shared-period group: claim scenarios from
-    /// the group's queue into a lane-compacting engine and drive them to
-    /// completion. Returns immediately if other workers already drained the
-    /// queue.
-    fn drain_group(
-        &self,
-        group: &[usize],
-        cursor: &std::sync::atomic::AtomicUsize,
-        calibration: &Calibration,
-        slots: &[std::sync::OnceLock<Result<SimulationResult, SimError>>],
-    ) {
-        let period_s = self.configs[group[0]].control_period_s;
+    /// Consumes the sink into one report per scenario, in input order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any slot was never filled (the sweep it was handed to did
+    /// not cover every index).
+    pub fn into_reports(self) -> Vec<Result<RunReport, SimError>> {
+        self.slots
+            .into_iter()
+            .map(|slot| slot.expect("every sweep slot is filled"))
+            .collect()
+    }
+}
 
-        // Pulls the next admissible scenario off the shared queue,
-        // publishing construction failures in place.
-        let mut next = || loop {
-            let k = cursor.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-            let &slot = group.get(k)?;
-            match ControlLoop::new(&self.configs[slot], calibration) {
-                Ok(control) => return Some((slot, control)),
-                Err(e) => {
-                    assert!(
-                        slots[slot].set(Err(e)).is_ok(),
-                        "every sweep slot is written exactly once"
-                    );
+impl ResultSink for CollectSink {
+    fn accept(&mut self, index: usize, outcome: Result<RunReport, SimError>) {
+        assert!(
+            self.slots[index].replace(outcome).is_none(),
+            "every sweep slot is written exactly once"
+        );
+    }
+}
+
+/// The shared streaming sweep body: `threads` workers sweep the
+/// shared-period `groups` (each a `(control period, scenario count)` pair)
+/// in order, pulling within-group indices from one atomic cursor per group
+/// and materialising each scenario through `provider(group, k)` lazily —
+/// nothing about a scenario exists before a worker claims it. Scenarios are
+/// driven through lane-compacting engines of `lanes` lanes and every report
+/// is pushed into the shared sink as its lane retires. A worker that finds
+/// a group's queue already drained flows into the next group immediately,
+/// so a multi-period sweep never idles the pool on one group's ragged tail.
+/// Both [`ScenarioSweep`] (providers indexed into its config list) and the
+/// campaign runner (a single group over the grid-cell expansion) are
+/// instantiations.
+pub(crate) fn sweep_stream<F, S>(
+    threads: usize,
+    lanes: usize,
+    groups: &[(f64, usize)],
+    recording: TracePolicy,
+    provider: &F,
+    calibration: &Calibration,
+    sink: &std::sync::Mutex<&mut S>,
+) where
+    F: Fn(usize, usize) -> (usize, ExperimentConfig) + Sync,
+    S: ResultSink + Send + ?Sized,
+{
+    let total: usize = groups.iter().map(|(_, count)| count).sum();
+    if total == 0 {
+        return;
+    }
+    let cursors: Vec<std::sync::atomic::AtomicUsize> = groups
+        .iter()
+        .map(|_| std::sync::atomic::AtomicUsize::new(0))
+        .collect();
+    let worker = || {
+        for (group, (&(period_s, count), cursor)) in groups.iter().zip(&cursors).enumerate() {
+            // Pulls the next admissible scenario off the group's shared
+            // queue, publishing construction failures in place.
+            let mut next = || loop {
+                let k = cursor.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if k >= count {
+                    return None;
+                }
+                let (slot, config) = provider(group, k);
+                match ControlLoop::new(&config, calibration, recording) {
+                    Ok(control) => return Some((slot, control)),
+                    Err(e) => sink
+                        .lock()
+                        .expect("result sink poisoned")
+                        .accept(slot, Err(e)),
+                }
+            };
+            let mut publish = |slot: usize, result: Result<RunReport, SimError>| {
+                sink.lock()
+                    .expect("result sink poisoned")
+                    .accept(slot, result);
+            };
+
+            // Claim the initial lane-group; the engine is sized to what the
+            // queue could actually provide, so a near-empty queue never
+            // creates idle-from-birth lanes, and a drained queue lets the
+            // worker flow straight into the next group.
+            let mut claimed = Vec::with_capacity(lanes);
+            while claimed.len() < lanes {
+                match next() {
+                    Some(admitted) => claimed.push(admitted),
+                    None => break,
                 }
             }
-        };
-        let mut publish = |slot: usize, result: Result<SimulationResult, SimError>| {
-            assert!(
-                slots[slot].set(result).is_ok(),
-                "every sweep slot is written exactly once"
-            );
-        };
-
-        // Claim the initial lane-group; the engine is sized to what the
-        // queue could actually provide, so a near-empty queue never creates
-        // idle-from-birth lanes.
-        let mut claimed = Vec::with_capacity(self.lanes);
-        while claimed.len() < self.lanes {
-            match next() {
-                Some(admitted) => claimed.push(admitted),
-                None => break,
+            if claimed.is_empty() {
+                continue;
+            }
+            let spec = SocSpec::odroid_xu_e();
+            let params: Vec<PlantPowerParams> = claimed
+                .iter()
+                .map(|(_, control)| control.config.plant)
+                .collect();
+            let mut lane_slots: Vec<LaneSlot> = claimed
+                .into_iter()
+                .map(|(slot, control)| LaneSlot::holding(slot, control))
+                .collect();
+            if lanes == 1 {
+                let mut engine = ScalarEngine::new(spec, &params);
+                drive_engine(
+                    &mut engine,
+                    period_s,
+                    &mut lane_slots,
+                    &mut next,
+                    &mut publish,
+                );
+            } else {
+                let mut engine = PanelEngine::new(spec, &params);
+                drive_engine(
+                    &mut engine,
+                    period_s,
+                    &mut lane_slots,
+                    &mut next,
+                    &mut publish,
+                );
             }
         }
-        if claimed.is_empty() {
-            return;
-        }
-        let spec = SocSpec::odroid_xu_e();
-        let params: Vec<PlantPowerParams> = claimed
-            .iter()
-            .map(|(slot, _)| self.configs[*slot].plant)
-            .collect();
-        let mut lanes: Vec<LaneSlot> = claimed
-            .into_iter()
-            .map(|(slot, control)| LaneSlot::holding(slot, control))
-            .collect();
-        if self.lanes == 1 {
-            let mut engine = ScalarEngine::new(spec, &params);
-            drive_engine(&mut engine, period_s, &mut lanes, &mut next, &mut publish);
-        } else {
-            let mut engine = PanelEngine::new(spec, &params);
-            drive_engine(&mut engine, period_s, &mut lanes, &mut next, &mut publish);
-        }
+    };
+    let pool = threads.min(total).max(1);
+    if pool == 1 {
+        worker();
+    } else {
+        std::thread::scope(|scope| {
+            for _ in 0..pool {
+                scope.spawn(worker);
+            }
+        });
     }
 }
 
@@ -1162,7 +1410,7 @@ fn run_one(
 /// scenario keeps its own control loop (sensors, governors, policy, trace —
 /// decisions stay strictly per-lane) while the plant integration advances all
 /// lanes per instruction stream, one scenario per panel column. The stepping
-/// logic itself is the shared [`drive_engine`] executor — the same code that
+/// logic itself is the shared `drive_engine` executor — the same code that
 /// runs a scalar [`Experiment`] — instantiated over the batched engine with
 /// as many lanes as configurations.
 ///
@@ -1190,12 +1438,12 @@ pub fn run_lockstep(
             .collect();
     }
 
-    let mut slots: Vec<Option<Result<SimulationResult, SimError>>> =
+    let mut slots: Vec<Option<Result<RunReport, SimError>>> =
         (0..configs.len()).map(|_| None).collect();
     let mut lanes: Vec<LaneSlot> = Vec::new();
     let mut lane_params = Vec::new();
     for (slot, config) in configs.iter().enumerate() {
-        match ControlLoop::new(config, calibration) {
+        match ControlLoop::new(config, calibration, TracePolicy::Full) {
             Ok(control) => {
                 lanes.push(LaneSlot::holding(slot, control));
                 lane_params.push(config.plant);
@@ -1217,6 +1465,9 @@ pub fn run_lockstep(
 
     slots
         .into_iter()
-        .map(|slot| slot.expect("every lockstep slot is filled"))
+        .map(|slot| {
+            slot.expect("every lockstep slot is filled")
+                .map(RunReport::into_simulation_result)
+        })
         .collect()
 }

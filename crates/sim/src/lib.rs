@@ -30,6 +30,15 @@
 //!   configuration uses.
 //! * [`trace`], [`metrics`] — per-interval logging, CSV export and the
 //!   power/performance/stability summaries the figures are built from.
+//! * [`observer`] — the streaming result seam: every absorbed interval flows
+//!   through a [`observer::RunObserver`] (full-trace, decimated, or
+//!   summary-only retention) and every run produces an O(1)
+//!   [`metrics::RunSummary`] from online accumulators.
+//! * [`campaign`] — declarative sweep campaigns: a serde-able
+//!   [`campaign::SweepSpec`] grid (kinds × benchmarks × ambients ×
+//!   replicates × DTPM variants) expanded lazily with deterministic per-cell
+//!   seeds and streamed through the compacting sweep into a
+//!   [`experiment::ResultSink`].
 //! * [`engine`] — the pluggable [`engine::PlantEngine`] backend seam: the
 //!   per-interval plant contract (admit a lane, step all lanes, read per-lane
 //!   temperatures and accumulated energy) with the scalar
@@ -135,6 +144,39 @@
 //! (measured 2.15×, see `BENCH_sweep_ragged.json`), and `tests/compaction.rs` proves recycled lanes
 //! reproduce scalar trajectories to ≤ 1e-9 °C.
 //!
+//! # Streaming results: observers, sinks, campaigns
+//!
+//! The result path is stream-then-aggregate, not accumulate-then-analyse.
+//! Per absorbed control interval the control loop builds one [`TraceRecord`]
+//! and hands it to two observers: an always-on [`observer::OnlineRunStats`]
+//! (Welford mean/variance and running min/max via [`numeric::Welford`],
+//! running power sum, intervention/residency counters — O(1) state) and the
+//! [`observer::TracePolicy`]-selected trace-retention observer. When the run
+//! retires it reports a [`RunReport`]: the streamed [`RunSummary`] — every
+//! input of the paper's figures ([`StabilityReport`], mean power, energy,
+//! execution time) — plus whatever trajectory the policy retained. Summaries
+//! from a streaming run are bit-equal to those computed post-hoc from a
+//! fully retained trace of the same run (`tests/streaming.rs`).
+//!
+//! Sweeps push reports into a [`ResultSink`] as lanes retire, tagged with
+//! the scenario's input-order index; [`ScenarioSweep::run`] is the trivial
+//! [`CollectSink`] instantiation with full traces. On top,
+//! [`campaign::SweepSpec`] declares a whole evaluation grid as a value —
+//! axes, campaign seed, shared timing — expands cells *lazily* as workers
+//! claim them (per-cell seeds are [`campaign::splitmix64`] of the campaign
+//! seed plus the cell index: distinct, stable, order-independent), and
+//! streams through the same compacting scheduler.
+//!
+//! **Retain traces** ([`observer::TracePolicy::Full`]) when you need
+//! trajectories: plots, CSV export, steady-portion analyses with a skip
+//! fraction chosen after the fact. **Stream summaries**
+//! ([`observer::TracePolicy::SummaryOnly`], the campaign default) for large
+//! grids: retained memory is O(cells) instead of O(cells × intervals) — the
+//! `sweep_campaign` bench measures ~19× less retention on a 200-cell grid
+//! at just 40 intervals per cell, and the gap grows linearly with run
+//! length ([`observer::TracePolicy::Decimated`] sits in between with coarse
+//! trajectories). Scenario count is bounded by compute, not memory.
+//!
 //! # Example
 //!
 //! ```no_run
@@ -157,24 +199,29 @@
 
 pub mod batch;
 pub mod calibrate;
+pub mod campaign;
 pub mod engine;
 pub mod error;
 pub mod experiment;
 pub mod metrics;
 pub mod naive;
+pub mod observer;
 pub mod plant;
 pub mod sensors;
 pub mod trace;
 
 pub use batch::BatchPlant;
 pub use calibrate::{Calibration, CalibrationCampaign};
+pub use campaign::{splitmix64, CampaignRunner, DtpmVariant, SweepSpec};
 pub use engine::{LaneInput, PanelEngine, PlantEngine, ScalarEngine};
 pub use error::SimError;
 pub use experiment::{
-    run_lockstep, Experiment, ExperimentConfig, ExperimentKind, ScenarioSweep, SimulationResult,
+    run_lockstep, CollectSink, Experiment, ExperimentConfig, ExperimentKind, ResultSink, RunReport,
+    ScenarioSweep, SimulationResult,
 };
-pub use metrics::{BenchmarkComparison, StabilityReport};
+pub use metrics::{BenchmarkComparison, RunSummary, StabilityReport};
 pub use naive::NaivePhysicalPlant;
+pub use observer::{DecimatedTrace, OnlineRunStats, RunObserver, TracePolicy};
 pub use plant::{PhysicalPlant, PlantPowerParams};
 pub use sensors::{SensorReadings, SensorSuite};
 pub use trace::{Trace, TraceRecord};

@@ -3,7 +3,8 @@
 use numeric::Summary;
 use serde::{Deserialize, Serialize};
 
-use crate::experiment::SimulationResult;
+use crate::experiment::{ExperimentConfig, SimulationResult};
+use crate::observer::{OnlineRunStats, RunObserver};
 
 /// Thermal stability metrics of one run (the quantities behind Figure 6.5).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -55,6 +56,67 @@ impl StabilityReport {
     }
 }
 
+/// Everything the evaluation needs from one run *without* its trace: the
+/// streamed per-run product of the observer/sink pipeline.
+///
+/// A `RunSummary` is O(1) regardless of run length — it is what a
+/// summaries-only sweep retains per scenario, and it carries every input of
+/// the paper's figures: execution time and completion (performance loss),
+/// mean platform power and energy (power saving), the [`StabilityReport`]
+/// (Figure 6.5), and the intervention/residency rates. Runs executed with a
+/// trace-retaining policy produce the identical summary (the streaming
+/// accumulators see the same records the trace retains; see
+/// [`RunSummary::of`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunSummary {
+    /// The configuration that produced this run.
+    pub config: ExperimentConfig,
+    /// Whether the benchmark ran to completion within the duration cap.
+    pub completed: bool,
+    /// Execution time of the benchmark, seconds.
+    pub execution_time_s: f64,
+    /// Number of absorbed control intervals.
+    pub intervals: usize,
+    /// Total true platform energy over the run, joules.
+    pub energy_j: f64,
+    /// Mean measured platform power over the run, watts.
+    pub mean_platform_power_w: f64,
+    /// Thermal stability of the run (whole-run window).
+    pub stability: StabilityReport,
+    /// Fraction of intervals in which the DTPM policy intervened.
+    pub intervention_rate: f64,
+    /// Fraction of intervals spent on the little cluster.
+    pub little_cluster_residency: f64,
+}
+
+impl RunSummary {
+    /// Computes the summary post-hoc from a trace-retaining result, by
+    /// replaying the retained records through the same online accumulators a
+    /// streaming run uses — so the outcome is bit-identical to what the same
+    /// run would have streamed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the result's trace is empty.
+    pub fn of(result: &SimulationResult) -> RunSummary {
+        let mut stats = OnlineRunStats::new();
+        for record in result.trace.records() {
+            stats.on_interval(record);
+        }
+        RunSummary {
+            config: result.config.clone(),
+            completed: result.completed,
+            execution_time_s: result.execution_time_s,
+            intervals: result.trace.len(),
+            energy_j: result.energy_j,
+            mean_platform_power_w: stats.mean_platform_power_w(),
+            stability: stats.stability(),
+            intervention_rate: stats.intervention_rate(),
+            little_cluster_residency: stats.little_cluster_residency(),
+        }
+    }
+}
+
 /// Comparison of one configuration against a baseline run of the same
 /// benchmark (the quantities behind Figures 6.9 and 6.10).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -83,21 +145,48 @@ impl BenchmarkComparison {
         baseline: &SimulationResult,
         evaluated: &SimulationResult,
     ) -> BenchmarkComparison {
-        let base_power = baseline.mean_platform_power_w;
-        let eval_power = evaluated.mean_platform_power_w;
+        Self::compare(
+            baseline.mean_platform_power_w,
+            baseline.execution_time_s,
+            &StabilityReport::of(baseline),
+            evaluated.mean_platform_power_w,
+            evaluated.execution_time_s,
+            &StabilityReport::of(evaluated),
+        )
+    }
+
+    /// Compares two runs from their streamed summaries — the trace-free
+    /// analogue of [`BenchmarkComparison::against_baseline`], for pipelines
+    /// that never retained the traces.
+    pub fn from_summaries(baseline: &RunSummary, evaluated: &RunSummary) -> BenchmarkComparison {
+        Self::compare(
+            baseline.mean_platform_power_w,
+            baseline.execution_time_s,
+            &baseline.stability,
+            evaluated.mean_platform_power_w,
+            evaluated.execution_time_s,
+            &evaluated.stability,
+        )
+    }
+
+    fn compare(
+        base_power: f64,
+        base_time_s: f64,
+        base_stability: &StabilityReport,
+        eval_power: f64,
+        eval_time_s: f64,
+        eval_stability: &StabilityReport,
+    ) -> BenchmarkComparison {
         let power_saving_percent = if base_power > 0.0 {
             100.0 * (base_power - eval_power) / base_power
         } else {
             0.0
         };
-        let performance_loss_percent = if baseline.execution_time_s > 0.0 {
-            100.0 * (evaluated.execution_time_s - baseline.execution_time_s)
-                / baseline.execution_time_s
+        let performance_loss_percent = if base_time_s > 0.0 {
+            100.0 * (eval_time_s - base_time_s) / base_time_s
         } else {
             0.0
         };
-        let base_stability = StabilityReport::of(baseline);
-        let eval_stability = StabilityReport::of(evaluated);
         let variance_reduction_factor = if eval_stability.temp_variance > 1e-9 {
             base_stability.temp_variance / eval_stability.temp_variance
         } else {
@@ -184,6 +273,60 @@ mod tests {
         assert!((cmp.performance_loss_percent - 3.3).abs() < 1e-9);
         assert!(cmp.variance_reduction_factor > 1.0);
         assert!(cmp.range_reduction_c > 0.0);
+    }
+
+    #[test]
+    fn summaries_compare_like_full_results() {
+        let baseline = synthetic_result(
+            ExperimentKind::DefaultWithFan,
+            &[55.0, 60.0, 65.0, 60.0],
+            6.0,
+            100.0,
+        );
+        let dtpm = synthetic_result(ExperimentKind::Dtpm, &[61.0, 62.0, 62.5, 62.0], 5.4, 103.3);
+        let from_results = BenchmarkComparison::against_baseline(&baseline, &dtpm);
+        let from_summaries =
+            BenchmarkComparison::from_summaries(&RunSummary::of(&baseline), &RunSummary::of(&dtpm));
+        assert_eq!(
+            from_results.power_saving_percent,
+            from_summaries.power_saving_percent
+        );
+        assert_eq!(
+            from_results.performance_loss_percent,
+            from_summaries.performance_loss_percent
+        );
+        assert!(
+            (from_results.variance_reduction_factor - from_summaries.variance_reduction_factor)
+                .abs()
+                <= 1e-9 * from_results.variance_reduction_factor.abs()
+        );
+        assert!((from_results.range_reduction_c - from_summaries.range_reduction_c).abs() <= 1e-9);
+    }
+
+    #[test]
+    fn run_summary_reproduces_trace_metrics() {
+        let result = synthetic_result(
+            ExperimentKind::Dtpm,
+            &[58.0, 61.0, 63.0, 62.0, 61.5, 62.2],
+            5.5,
+            120.0,
+        );
+        let summary = RunSummary::of(&result);
+        assert_eq!(summary.config, result.config);
+        assert_eq!(summary.completed, result.completed);
+        assert_eq!(summary.intervals, result.trace.len());
+        assert_eq!(summary.energy_j, result.energy_j);
+        assert_eq!(summary.execution_time_s, result.execution_time_s);
+        assert_eq!(
+            summary.mean_platform_power_w,
+            result.trace.mean_platform_power_w()
+        );
+        assert_eq!(summary.intervention_rate, result.trace.intervention_rate());
+        let reference = StabilityReport::of(&result);
+        assert_eq!(summary.stability.peak_temp_c, reference.peak_temp_c);
+        assert_eq!(summary.stability.temp_range_c, reference.temp_range_c);
+        assert!((summary.stability.mean_temp_c - reference.mean_temp_c).abs() < 1e-12);
+        assert!((summary.stability.temp_variance - reference.temp_variance).abs() < 1e-9);
     }
 
     #[test]

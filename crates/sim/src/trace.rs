@@ -1,6 +1,6 @@
 //! Per-interval trace logging and CSV export.
 
-use std::io::Write;
+use std::io::{BufWriter, Write};
 use std::path::Path;
 
 use numeric::Summary;
@@ -142,7 +142,9 @@ impl Trace {
         if let Some(parent) = path.parent() {
             std::fs::create_dir_all(parent)?;
         }
-        let mut file = std::fs::File::create(path)?;
+        // Buffer the row-at-a-time writes: a long trace is tens of thousands
+        // of small formatted writes, which would otherwise each hit the OS.
+        let mut file = BufWriter::new(std::fs::File::create(path)?);
         writeln!(
             file,
             "time_s,temp0_c,temp1_c,temp2_c,temp3_c,max_temp_c,cluster,freq_mhz,online_cores,\
@@ -175,6 +177,8 @@ impl Trace {
                 r.dtpm_intervened
             )?;
         }
+        // Surface flush errors here: `BufWriter`'s drop swallows them.
+        file.flush()?;
         Ok(())
     }
 }
@@ -250,6 +254,43 @@ mod tests {
         let contents = std::fs::read_to_string(&path).unwrap();
         assert_eq!(contents.lines().count(), 11); // header + 10 rows
         assert!(contents.lines().next().unwrap().starts_with("time_s,"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn csv_round_trips_record_count_and_shape() {
+        // A long trace exercises the buffered writer across flush boundaries;
+        // the exported file must round-trip the record count exactly and keep
+        // every row aligned with the header's column count.
+        let mut trace = Trace::new();
+        for k in 0..4096 {
+            let mut r = record(k as f64 * 0.1, 50.0 + (k % 17) as f64 * 0.3, 1600, 3.1);
+            if k % 5 == 0 {
+                r.predicted_peak_c = Some(61.5);
+            }
+            trace.push(r);
+        }
+        let dir = std::env::temp_dir().join("dtpm_trace_roundtrip_test");
+        let path = dir.join("trace.csv");
+        trace.write_csv(&path).unwrap();
+        let contents = std::fs::read_to_string(&path).unwrap();
+        let mut lines = contents.lines();
+        let header = lines.next().expect("header row");
+        let columns = header.split(',').count();
+        let mut rows = 0usize;
+        for line in lines {
+            assert_eq!(
+                line.split(',').count(),
+                columns,
+                "row {rows} column count diverged from the header"
+            );
+            rows += 1;
+        }
+        assert_eq!(
+            rows,
+            trace.len(),
+            "exported CSV must round-trip record count"
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 }

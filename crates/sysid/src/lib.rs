@@ -11,7 +11,7 @@
 //! 2. log the power inputs and hotspot temperatures at the control-interval
 //!    rate ([`dataset`]),
 //! 3. fit each row of `As` and `Bs` with linear least squares
-//!    ([`identify`]) — the Rust stand-in for MATLAB's System Identification
+//!    ([`identify`](mod@identify)) — the Rust stand-in for MATLAB's System Identification
 //!    Toolbox,
 //! 4. validate the identified model against held-out measurements
 //!    ([`validate`]), reporting the fit percentage and the n-step prediction

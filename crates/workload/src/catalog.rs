@@ -112,6 +112,21 @@ impl BenchmarkId {
         BenchmarkId::LuMt,
     ];
 
+    /// Iterator over every modelled benchmark (the 15 of Table 6.4 plus the
+    /// two explicitly multi-threaded kernels of Figure 6.10), in
+    /// [`BenchmarkId::ALL`] order. This is the benchmark axis of evaluation
+    /// grids; use [`BenchmarkId::paper_set`] for the paper's 15-benchmark
+    /// sweep specifically.
+    pub fn all() -> impl Iterator<Item = BenchmarkId> + Clone {
+        BenchmarkId::ALL.into_iter()
+    }
+
+    /// Iterator over the paper's 15-benchmark evaluation set (Table 6.4), in
+    /// paper order.
+    pub fn paper_set() -> impl Iterator<Item = BenchmarkId> + Clone {
+        BenchmarkId::PAPER_SET.into_iter()
+    }
+
     /// Short lowercase name used in logs and CSV output.
     pub fn name(self) -> &'static str {
         match self {
@@ -135,9 +150,13 @@ impl BenchmarkId {
         }
     }
 
-    /// Looks up a benchmark by its [`BenchmarkId::name`].
+    /// Looks up a benchmark by its [`BenchmarkId::name`],
+    /// ASCII-case-insensitively (`"SHA"`, `"Matrix-Mult"` and
+    /// `"matrix-mult"` all resolve).
     pub fn from_name(name: &str) -> Option<BenchmarkId> {
-        BenchmarkId::ALL.into_iter().find(|b| b.name() == name)
+        BenchmarkId::ALL
+            .into_iter()
+            .find(|b| b.name().eq_ignore_ascii_case(name))
     }
 
     /// The full description of this benchmark.
@@ -481,6 +500,42 @@ mod tests {
             assert_eq!(BenchmarkId::from_name(id.name()), Some(id));
         }
         assert_eq!(BenchmarkId::from_name("no-such-benchmark"), None);
+    }
+
+    #[test]
+    fn iterators_cover_the_catalogue_in_order() {
+        let all: Vec<BenchmarkId> = BenchmarkId::all().collect();
+        assert_eq!(all, BenchmarkId::ALL.to_vec());
+        let paper: Vec<BenchmarkId> = BenchmarkId::paper_set().collect();
+        assert_eq!(paper, BenchmarkId::PAPER_SET.to_vec());
+        assert_eq!(paper.len(), 15);
+        // Every paper benchmark is in the full iterator.
+        for id in BenchmarkId::paper_set() {
+            assert!(BenchmarkId::all().any(|b| b == id), "{id} missing");
+        }
+    }
+
+    #[test]
+    fn from_name_is_case_insensitive() {
+        assert_eq!(
+            BenchmarkId::from_name("BLOWFISH"),
+            Some(BenchmarkId::Blowfish)
+        );
+        assert_eq!(
+            BenchmarkId::from_name("Matrix-Mult"),
+            Some(BenchmarkId::MatrixMult)
+        );
+        assert_eq!(
+            BenchmarkId::from_name("TempleRun"),
+            Some(BenchmarkId::Templerun)
+        );
+        for id in BenchmarkId::all() {
+            assert_eq!(
+                BenchmarkId::from_name(&id.name().to_ascii_uppercase()),
+                Some(id)
+            );
+        }
+        assert_eq!(BenchmarkId::from_name("NO-SUCH-BENCHMARK"), None);
     }
 
     #[test]
