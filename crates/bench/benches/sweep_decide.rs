@@ -42,7 +42,10 @@ const HORIZON: usize = 32;
 /// paper's rate, so decisions dominate the sweep).
 const CONTROL_PERIOD_S: f64 = 0.01;
 /// Acceptance floor: batched two-phase over per-lane scalar decisions/s.
-const SPEEDUP_FLOOR: f64 = 1.5;
+/// Re-baselined upward from 1.5 after the explicit SIMD panel kernels landed
+/// (measured 13.1x on the AVX2 reference host, up from 11.98x with
+/// autovectorized scalar kernels).
+const SPEEDUP_FLOOR: f64 = 10.0;
 
 /// A run-time power model trained like a warm sweep's (heavy big-cluster
 /// activity, light GPU/memory observations).

@@ -24,8 +24,11 @@ const CONTROL_PERIOD_S: f64 = 0.1;
 const MICRO_STEPS_PER_INTERVAL: f64 = 10.0;
 /// Scenarios advanced per instruction stream in the batched engine.
 const LANES: usize = 8;
-/// Acceptance floor for the batched engine at eight lanes.
-const SPEEDUP_FLOOR: f64 = 2.0;
+/// Acceptance floor for the batched engine at eight lanes. Re-baselined
+/// upward from 2.0 after the explicit SIMD panel kernels landed (measured
+/// 2.84x on the AVX2 reference host, up from 2.35x with autovectorized
+/// scalar kernels).
+const SPEEDUP_FLOOR: f64 = 2.5;
 
 fn busy_demand() -> Demand {
     Demand {
@@ -86,15 +89,21 @@ fn bench_sweep_step(c: &mut Criterion) {
 /// micro-steps/sec plus the speedup factor; asserts the acceptance floor.
 fn report_steps_per_second(spec: &SocSpec, state: &PlatformState, demand: &Demand) {
     let test_mode = std::env::args().any(|a| a == "--test");
-    let intervals: usize = if test_mode { 20 } else { 4_000 };
-    let passes: usize = if test_mode { 1 } else { 3 };
+    let intervals: usize = if test_mode { 20 } else { 2_000 };
+    let passes: usize = if test_mode { 1 } else { 8 };
     let params = [PlantPowerParams::default(); LANES];
 
-    // Best-of-N wall-clock per engine: the minimum is the least-interference
-    // estimate on a shared machine (the simulated trajectory is identical in
-    // every pass).
+    // Best-of-N wall-clock per engine, with the two engines' passes
+    // interleaved: the minimum is the least-interference estimate on a shared
+    // machine, and alternating passes keeps frequency drift from landing on
+    // one engine only (the simulated trajectory is identical in every pass).
     let mut batched = BatchPlant::new(spec.clone(), &params);
+    let mut scalars: Vec<PhysicalPlant> = params
+        .iter()
+        .map(|p| PhysicalPlant::new(spec.clone(), *p))
+        .collect();
     let mut batched_elapsed = std::time::Duration::MAX;
+    let mut scalar_elapsed = std::time::Duration::MAX;
     for _ in 0..passes {
         let start = Instant::now();
         for _ in 0..intervals {
@@ -107,14 +116,7 @@ fn report_steps_per_second(spec: &SocSpec, state: &PlatformState, demand: &Deman
             black_box(batched.step_interval(&inputs, CONTROL_PERIOD_S).unwrap());
         }
         batched_elapsed = batched_elapsed.min(start.elapsed());
-    }
 
-    let mut scalars: Vec<PhysicalPlant> = params
-        .iter()
-        .map(|p| PhysicalPlant::new(spec.clone(), *p))
-        .collect();
-    let mut scalar_elapsed = std::time::Duration::MAX;
-    for _ in 0..passes {
         let start = Instant::now();
         for _ in 0..intervals {
             for plant in &mut scalars {

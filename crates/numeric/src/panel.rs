@@ -4,15 +4,18 @@
 //! side by side: row `i` stores element `i` of every scenario contiguously, so
 //! column `l` is scenario `l`'s state scattered at stride `lanes`. Batched
 //! kernels walk a row across all lanes with unit stride, which is exactly the
-//! layout the autovectorizer wants and what lets an `n × n` transition matrix
-//! be loaded *once* per step for every scenario instead of once per scenario.
+//! layout wide vector loads want and what lets an `n × n` transition matrix be
+//! loaded *once* per step for every scenario instead of once per scenario.
+//! Panel storage is allocated at [`crate::PANEL_ALIGN`]-byte boundaries (see
+//! [`crate::aligned`]) so those wide loads never straddle cache lines.
 //!
 //! The panel kernels ([`Matrix::mul_panel_into`], [`affine_pair_apply`])
-//! process lanes in fixed-width chunks of [`LANE_CHUNK`] with register
-//! accumulators (two output rows per pass so each loaded input row is reused),
-//! falling back to a per-lane scalar loop for the remainder. Both paths
-//! accumulate in the same per-lane order (`j = 0..n`, `A`-term before
-//! `B`-term), so a lane's result is bit-identical no matter which path
+//! process lanes in fixed-width chunks of [`LANE_CHUNK`] through the SIMD arm
+//! selected by [`PanelKernel::active`] (see [`crate::simd`] for the dispatch
+//! and equivalence contract), falling back to register-blocked scalar code for
+//! the remainder lanes and on hosts without a vector unit. Every arm
+//! accumulates each lane in the same per-lane order (`j = 0..n`, `A`-term
+//! before `B`-term), so a lane's result is bit-identical no matter which arm
 //! processed it or how many lanes surround it.
 //!
 //! # Example
@@ -36,7 +39,9 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::aligned::{AlignedVec, PANEL_ALIGN};
 use crate::matrix::Matrix;
+use crate::simd::PanelKernel;
 use crate::NumericError;
 
 /// Width of the register-blocked fast path of the panel kernels.
@@ -44,12 +49,12 @@ pub const LANE_CHUNK: usize = 8;
 
 /// A structure-of-arrays panel: `rows` state elements for `lanes` independent
 /// scenarios, stored row-major (`data[i * lanes + l]` is element `i` of
-/// scenario `l`).
+/// scenario `l`) in [`crate::PANEL_ALIGN`]-byte-aligned storage.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Panel {
     rows: usize,
     lanes: usize,
-    data: Vec<f64>,
+    data: AlignedVec,
 }
 
 impl Panel {
@@ -60,11 +65,13 @@ impl Panel {
     /// Panics if `rows` or `lanes` is zero.
     pub fn zeros(rows: usize, lanes: usize) -> Self {
         assert!(rows > 0 && lanes > 0, "panel dimensions must be non-zero");
-        Panel {
-            rows,
-            lanes,
-            data: vec![0.0; rows * lanes],
-        }
+        let data = AlignedVec::zeroed(rows * lanes);
+        debug_assert_eq!(
+            data.as_ptr() as usize % PANEL_ALIGN,
+            0,
+            "panel storage must be {PANEL_ALIGN}-byte aligned"
+        );
+        Panel { rows, lanes, data }
     }
 
     /// Number of state rows.
@@ -199,16 +206,32 @@ impl Matrix {
     /// of `x` through the same linear map in one pass, loading each matrix
     /// entry once for all lanes.
     ///
-    /// Lanes are processed in register-blocked chunks of [`LANE_CHUNK`] (two
-    /// output rows per pass) with a scalar per-lane remainder; every lane
-    /// accumulates in the same order, so results are bit-identical across
-    /// chunk boundaries and lane counts.
+    /// Full chunks of [`LANE_CHUNK`] lanes go through the SIMD arm selected
+    /// by [`PanelKernel::active`]; remainder lanes take the blocked scalar
+    /// path. Every lane accumulates in the same order regardless of arm, so
+    /// results are bit-identical across chunk boundaries, lane counts and
+    /// (in the default build) dispatch arms — see [`crate::simd`].
     ///
     /// # Errors
     ///
     /// Returns [`NumericError::DimensionMismatch`] if `self.cols() != x.rows()`
     /// or `out` is not `self.rows() × x.lanes()`.
     pub fn mul_panel_into(&self, x: &Panel, out: &mut Panel) -> Result<(), NumericError> {
+        self.mul_panel_into_with(PanelKernel::active(), x, out)
+    }
+
+    /// [`Matrix::mul_panel_into`] through an explicit [`PanelKernel`] arm
+    /// (testing/benching form; an unavailable kernel degrades to scalar).
+    ///
+    /// # Errors
+    ///
+    /// As for [`Matrix::mul_panel_into`].
+    pub fn mul_panel_into_with(
+        &self,
+        kernel: PanelKernel,
+        x: &Panel,
+        out: &mut Panel,
+    ) -> Result<(), NumericError> {
         if self.cols() != x.rows() {
             return Err(NumericError::DimensionMismatch {
                 operation: "matrix-panel multiplication",
@@ -223,7 +246,7 @@ impl Matrix {
                 right: (out.rows, out.lanes),
             });
         }
-        fused_panel_kernel(self, None, None, x, None, out);
+        fused_panel_kernel(kernel, self, None, None, x, None, out);
         Ok(())
     }
 }
@@ -232,11 +255,13 @@ impl Matrix {
 ///
 /// This is the batched form of one affine transition applied to `x.lanes()`
 /// scenarios at once: both matrices are streamed through the cache a single
-/// time per call, and the inner loops run across lanes at unit stride. For
-/// each output element the accumulation order is `bias`, then for `j = 0..n`
-/// the `a`-term followed by the `b`-term — the same order for every lane and
+/// time per call, and the inner loops run across lanes at unit stride through
+/// the SIMD arm selected by [`PanelKernel::active`]. For each output element
+/// the accumulation order is `bias`, then for `j = 0..n` the `a`-term
+/// followed by the `b`-term — the same order for every lane and arm, and
 /// identical to a scalar column-major (axpy) evaluation, which is what makes
-/// batched and scalar transition stepping agree to the last bit.
+/// batched and scalar transition stepping agree to the last bit (see
+/// [`crate::simd`] for the `fma`-build contract).
 ///
 /// # Errors
 ///
@@ -244,6 +269,24 @@ impl Matrix {
 /// `bias` does not cover the output rows, the panels disagree in shape, or
 /// `out` is not `a.rows() × x.lanes()`.
 pub fn affine_pair_apply(
+    a: &Matrix,
+    b: &Matrix,
+    bias: &[f64],
+    x: &Panel,
+    y: &Panel,
+    out: &mut Panel,
+) -> Result<(), NumericError> {
+    affine_pair_apply_with(PanelKernel::active(), a, b, bias, x, y, out)
+}
+
+/// [`affine_pair_apply`] through an explicit [`PanelKernel`] arm
+/// (testing/benching form; an unavailable kernel degrades to scalar).
+///
+/// # Errors
+///
+/// As for [`affine_pair_apply`].
+pub fn affine_pair_apply_with(
+    kernel: PanelKernel,
     a: &Matrix,
     b: &Matrix,
     bias: &[f64],
@@ -272,15 +315,21 @@ pub fn affine_pair_apply(
             right: (out.rows, out.lanes),
         });
     }
-    fused_panel_kernel(a, Some(b), Some(bias), x, Some(y), out);
+    fused_panel_kernel(kernel, a, Some(b), Some(bias), x, Some(y), out);
     Ok(())
 }
 
-/// Shared blocked kernel behind [`Matrix::mul_panel_into`] and
+/// Shared dispatching kernel behind [`Matrix::mul_panel_into`] and
 /// [`affine_pair_apply`]. `b`/`y` are `None` for the single-matrix product;
 /// a `None` bias means all zeros (no allocation). Dimensions are assumed
 /// pre-validated.
+///
+/// The requested arm (degraded to scalar if unavailable on this host)
+/// handles the full [`LANE_CHUNK`]-wide chunks `[0, full)`; the remainder
+/// lanes always take [`scalar_rows`]. Both produce bit-identical lanes — see
+/// [`crate::simd`].
 fn fused_panel_kernel(
+    kernel: PanelKernel,
     a: &Matrix,
     b: Option<&Matrix>,
     bias: Option<&[f64]>,
@@ -288,7 +337,6 @@ fn fused_panel_kernel(
     y: Option<&Panel>,
     out: &mut Panel,
 ) {
-    let bias_at = |i: usize| bias.map_or(0.0, |b| b[i]);
     let m = a.rows();
     let n = a.cols();
     let lanes = x.lanes;
@@ -296,96 +344,224 @@ fn fused_panel_kernel(
     let b_data = b.map(Matrix::as_slice);
     let x_data = x.as_slice();
     let y_data = y.map(Panel::as_slice);
+    let full = lanes - lanes % LANE_CHUNK;
 
-    let mut off = 0;
-    while off < lanes {
-        let width = (lanes - off).min(LANE_CHUNK);
-        if width == LANE_CHUNK {
-            // Register-blocked fast path: two output rows per pass so each
-            // loaded input row is applied twice.
-            let mut i = 0;
-            while i + 1 < m {
-                let mut acc0 = [bias_at(i); LANE_CHUNK];
-                let mut acc1 = [bias_at(i + 1); LANE_CHUNK];
-                for j in 0..n {
-                    let a0 = a_data[i * n + j];
-                    let a1 = a_data[(i + 1) * n + j];
-                    let x_row = &x_data[j * lanes + off..j * lanes + off + LANE_CHUNK];
-                    match (b_data, y_data) {
-                        (Some(bd), Some(yd)) => {
-                            let b0 = bd[i * n + j];
-                            let b1 = bd[(i + 1) * n + j];
-                            let y_row = &yd[j * lanes + off..j * lanes + off + LANE_CHUNK];
-                            for q in 0..LANE_CHUNK {
-                                let xv = x_row[q];
-                                let yv = y_row[q];
-                                acc0[q] += a0 * xv + b0 * yv;
-                                acc1[q] += a1 * xv + b1 * yv;
-                            }
-                        }
-                        _ => {
-                            for q in 0..LANE_CHUNK {
-                                let xv = x_row[q];
-                                acc0[q] += a0 * xv;
-                                acc1[q] += a1 * xv;
-                            }
-                        }
-                    }
+    let kernel = if kernel.is_available() {
+        kernel
+    } else {
+        PanelKernel::Scalar
+    };
+    let mut handled = 0;
+    match kernel {
+        #[cfg(target_arch = "x86_64")]
+        PanelKernel::Avx2Fma if full > 0 => {
+            // SAFETY: availability was just checked; slices cover the
+            // pre-validated m × n / n × lanes / m × lanes extents.
+            unsafe {
+                match (b_data, y_data) {
+                    (Some(bd), Some(yd)) => crate::simd::avx2::affine_chunks(
+                        a_data,
+                        bd,
+                        bias,
+                        x_data,
+                        yd,
+                        &mut out.data,
+                        m,
+                        n,
+                        lanes,
+                        full,
+                    ),
+                    _ => crate::simd::avx2::mul_chunks(
+                        a_data,
+                        bias,
+                        x_data,
+                        &mut out.data,
+                        m,
+                        n,
+                        lanes,
+                        full,
+                    ),
                 }
-                out.data[i * lanes + off..i * lanes + off + LANE_CHUNK].copy_from_slice(&acc0);
-                out.data[(i + 1) * lanes + off..(i + 1) * lanes + off + LANE_CHUNK]
-                    .copy_from_slice(&acc1);
-                i += 2;
             }
-            if i < m {
-                let mut acc = [bias_at(i); LANE_CHUNK];
-                for j in 0..n {
-                    let a0 = a_data[i * n + j];
-                    let x_row = &x_data[j * lanes + off..j * lanes + off + LANE_CHUNK];
-                    match (b_data, y_data) {
-                        (Some(bd), Some(yd)) => {
-                            let b0 = bd[i * n + j];
-                            let y_row = &yd[j * lanes + off..j * lanes + off + LANE_CHUNK];
-                            for q in 0..LANE_CHUNK {
-                                acc[q] += a0 * x_row[q] + b0 * y_row[q];
-                            }
-                        }
-                        _ => {
-                            for q in 0..LANE_CHUNK {
-                                acc[q] += a0 * x_row[q];
-                            }
-                        }
-                    }
+            handled = full;
+        }
+        #[cfg(target_arch = "aarch64")]
+        PanelKernel::Neon if full > 0 => {
+            // SAFETY: as above.
+            unsafe {
+                match (b_data, y_data) {
+                    (Some(bd), Some(yd)) => crate::simd::neon::affine_chunks(
+                        a_data,
+                        bd,
+                        bias,
+                        x_data,
+                        yd,
+                        &mut out.data,
+                        m,
+                        n,
+                        lanes,
+                        full,
+                    ),
+                    _ => crate::simd::neon::mul_chunks(
+                        a_data,
+                        bias,
+                        x_data,
+                        &mut out.data,
+                        m,
+                        n,
+                        lanes,
+                        full,
+                    ),
                 }
-                out.data[i * lanes + off..i * lanes + off + LANE_CHUNK].copy_from_slice(&acc);
             }
-        } else {
-            // Scalar remainder: same per-lane accumulation order as the
-            // blocked path, so lane results never depend on the chunking.
-            for i in 0..m {
-                for q in 0..width {
-                    let lane = off + q;
-                    let mut acc = bias_at(i);
-                    match (b_data, y_data) {
-                        (Some(bd), Some(yd)) => {
-                            for j in 0..n {
-                                // Single expression per j, matching the
-                                // blocked path's rounding exactly.
-                                acc += a_data[i * n + j] * x_data[j * lanes + lane]
-                                    + bd[i * n + j] * yd[j * lanes + lane];
-                            }
-                        }
-                        _ => {
-                            for j in 0..n {
-                                acc += a_data[i * n + j] * x_data[j * lanes + lane];
-                            }
-                        }
+            handled = full;
+        }
+        _ => {}
+    }
+    if handled == lanes {
+        return;
+    }
+
+    // Scalar arm and remainder: rows outer so each row's bias is read once
+    // (not once per lane chunk), two output rows per pass so each loaded
+    // input row is applied twice. Full chunks call the width-generic helper
+    // with the literal `LANE_CHUNK` so constant propagation recovers the
+    // fixed-trip-count inner loops the autovectorizer needs.
+    let mut i = 0;
+    while i + 2 <= m {
+        let biases = [bias_at(bias, i), bias_at(bias, i + 1)];
+        let mut off = handled;
+        while off + LANE_CHUNK <= lanes {
+            scalar_rows::<2>(
+                a_data,
+                b_data,
+                biases,
+                x_data,
+                y_data,
+                &mut out.data,
+                i,
+                n,
+                lanes,
+                off,
+                LANE_CHUNK,
+            );
+            off += LANE_CHUNK;
+        }
+        if off < lanes {
+            scalar_rows::<2>(
+                a_data,
+                b_data,
+                biases,
+                x_data,
+                y_data,
+                &mut out.data,
+                i,
+                n,
+                lanes,
+                off,
+                lanes - off,
+            );
+        }
+        i += 2;
+    }
+    if i < m {
+        let biases = [bias_at(bias, i)];
+        let mut off = handled;
+        while off + LANE_CHUNK <= lanes {
+            scalar_rows::<1>(
+                a_data,
+                b_data,
+                biases,
+                x_data,
+                y_data,
+                &mut out.data,
+                i,
+                n,
+                lanes,
+                off,
+                LANE_CHUNK,
+            );
+            off += LANE_CHUNK;
+        }
+        if off < lanes {
+            scalar_rows::<1>(
+                a_data,
+                b_data,
+                biases,
+                x_data,
+                y_data,
+                &mut out.data,
+                i,
+                n,
+                lanes,
+                off,
+                lanes - off,
+            );
+        }
+    }
+}
+
+#[inline(always)]
+fn bias_at(bias: Option<&[f64]>, i: usize) -> f64 {
+    bias.map_or(0.0, |b| b[i])
+}
+
+/// Width-generic scalar body of the panel kernels: accumulates `R` output
+/// rows starting at `i` over lanes `[off, off + width)` (`width <=`
+/// [`LANE_CHUNK`]). The single helper serves the blocked full-chunk pass, the
+/// odd-row tail and the remainder lanes, so all of them share one
+/// accumulation order by construction — per lane, `bias`, then for each `j`
+/// the `a`-term before the `b`-term, through the [`crate::simd::madd`] /
+/// [`crate::simd::madd2`] primitives.
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+fn scalar_rows<const R: usize>(
+    a_data: &[f64],
+    b_data: Option<&[f64]>,
+    biases: [f64; R],
+    x_data: &[f64],
+    y_data: Option<&[f64]>,
+    out: &mut [f64],
+    i: usize,
+    n: usize,
+    lanes: usize,
+    off: usize,
+    width: usize,
+) {
+    use crate::simd::{madd, madd2};
+
+    let mut acc = [[0.0; LANE_CHUNK]; R];
+    for (r, row) in acc.iter_mut().enumerate() {
+        *row = [biases[r]; LANE_CHUNK];
+    }
+    match (b_data, y_data) {
+        (Some(bd), Some(yd)) => {
+            for j in 0..n {
+                let x_row = &x_data[j * lanes + off..j * lanes + off + width];
+                let y_row = &yd[j * lanes + off..j * lanes + off + width];
+                for (r, row) in acc.iter_mut().enumerate() {
+                    let a0 = a_data[(i + r) * n + j];
+                    let b0 = bd[(i + r) * n + j];
+                    for q in 0..width {
+                        row[q] = madd2(a0, x_row[q], b0, y_row[q], row[q]);
                     }
-                    out.data[i * lanes + lane] = acc;
                 }
             }
         }
-        off += width;
+        _ => {
+            for j in 0..n {
+                let x_row = &x_data[j * lanes + off..j * lanes + off + width];
+                for (r, row) in acc.iter_mut().enumerate() {
+                    let a0 = a_data[(i + r) * n + j];
+                    for q in 0..width {
+                        row[q] = madd(a0, x_row[q], row[q]);
+                    }
+                }
+            }
+        }
+    }
+    for (r, row) in acc.iter().enumerate() {
+        out[(i + r) * lanes + off..(i + r) * lanes + off + width].copy_from_slice(&row[..width]);
     }
 }
 
@@ -430,6 +606,14 @@ mod tests {
     }
 
     #[test]
+    fn panel_storage_is_aligned() {
+        let p = Panel::zeros(6, 9);
+        assert_eq!(p.as_slice().as_ptr() as usize % PANEL_ALIGN, 0);
+        let twin = p.clone();
+        assert_eq!(twin.as_slice().as_ptr() as usize % PANEL_ALIGN, 0);
+    }
+
+    #[test]
     fn row_slice_matches_row() {
         let m = test_matrix(4, 0.3);
         for i in 0..4 {
@@ -467,7 +651,7 @@ mod tests {
     #[test]
     fn mul_panel_lane_results_do_not_depend_on_neighbours() {
         // A lane's result must be bit-identical whether it sits in a full
-        // chunk of 8 or in the scalar remainder.
+        // chunk of 8 (SIMD arm) or in the scalar remainder.
         let n = 8;
         let a = test_matrix(n, 0.4);
         let col: Vec<f64> = (0..n).map(|i| 40.0 + i as f64 * 1.3).collect();
@@ -521,6 +705,46 @@ mod tests {
                         "lanes={lanes} lane={lane} row={i}"
                     );
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn explicit_kernel_arms_agree_with_scalar() {
+        // The `_with` forms are the oracle hook for the dispatch arms: on the
+        // default build every available arm must match forced-scalar to the
+        // bit; under `fma` they still must match each other (all arms fuse
+        // identically), which this test covers by comparing vs Scalar, whose
+        // madd primitives fuse too.
+        let n = 8;
+        let a = test_matrix(n, 0.2);
+        let b = test_matrix(n, 0.05);
+        let bias: Vec<f64> = (0..n).map(|i| 0.01 * i as f64).collect();
+        for lanes in [8, 11, 24] {
+            let mut x = Panel::zeros(n, lanes);
+            let mut y = Panel::zeros(n, lanes);
+            for lane in 0..lanes {
+                for i in 0..n {
+                    x.set(i, lane, 50.0 + (lane + i) as f64 * 0.37);
+                    y.set(i, lane, 0.5 + (lane * i) as f64 * 0.011);
+                }
+            }
+            let mut scalar_out = Panel::zeros(n, lanes);
+            affine_pair_apply_with(PanelKernel::Scalar, &a, &b, &bias, &x, &y, &mut scalar_out)
+                .unwrap();
+            let mut scalar_mul = Panel::zeros(n, lanes);
+            a.mul_panel_into_with(PanelKernel::Scalar, &x, &mut scalar_mul)
+                .unwrap();
+            for kernel in [PanelKernel::Avx2Fma, PanelKernel::Neon] {
+                if !kernel.is_available() {
+                    continue;
+                }
+                let mut out = Panel::zeros(n, lanes);
+                affine_pair_apply_with(kernel, &a, &b, &bias, &x, &y, &mut out).unwrap();
+                assert_eq!(out, scalar_out, "affine {kernel:?} lanes={lanes}");
+                let mut mul = Panel::zeros(n, lanes);
+                a.mul_panel_into_with(kernel, &x, &mut mul).unwrap();
+                assert_eq!(mul, scalar_mul, "mul {kernel:?} lanes={lanes}");
             }
         }
     }

@@ -11,6 +11,7 @@
 //! (Figures 4.1–4.3). Leakage *power* is the supply voltage times the leakage
 //! current.
 
+use numeric::simd::{madd, PanelKernel};
 use numeric::{levenberg_marquardt, FitOptions, Vector};
 use serde::{Deserialize, Serialize};
 use soc_model::Voltage;
@@ -285,17 +286,30 @@ impl LeakagePanel {
     /// Evaluates the whole panel's leakage currents in one unit-stride pass:
     /// `temps_c` and `out` cover every cell in row-major order
     /// (`rows × lanes`). This is the batch engine's per-micro-step call — one
-    /// long vectorisable loop instead of one short loop per domain row.
+    /// long vector loop (through the SIMD arm selected by
+    /// [`PanelKernel::active`]) instead of one short loop per domain row.
     ///
     /// # Panics
     ///
     /// Panics if the slices do not cover every cell.
     #[inline]
     pub fn currents_into(&self, temps_c: &[f64], out: &mut [f64]) {
+        self.currents_into_with(PanelKernel::active(), temps_c, out);
+    }
+
+    /// [`LeakagePanel::currents_into`] through an explicit [`PanelKernel`]
+    /// arm (testing/benching form; an unavailable kernel degrades to scalar).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices do not cover every cell.
+    #[inline]
+    pub fn currents_into_with(&self, kernel: PanelKernel, temps_c: &[f64], out: &mut [f64]) {
         let cells = self.rows * self.lanes;
         assert_eq!(temps_c.len(), cells, "temperature panel size");
         assert_eq!(out.len(), cells, "output panel size");
-        currents_span(
+        currents_span_with(
+            kernel,
             &self.c1,
             &self.c2,
             &self.igate,
@@ -319,29 +333,268 @@ fn currents_span(
     temps_c: &[f64],
     out: &mut [f64],
 ) {
-    for (k, slot) in out.iter_mut().enumerate() {
+    currents_span_with(PanelKernel::active(), c1, c2, igate, a0, e0, temps_c, out);
+}
+
+/// [`currents_span`] through an explicit kernel arm: the vector arm (if
+/// requested and available) covers the full-vector prefix, the scalar
+/// [`leak_cell`] the tail. Every arm performs the same per-cell operation
+/// sequence, so a cell's current is bit-identical regardless of arm or
+/// position — see `numeric::simd` for the dispatch and `fma` contract.
+#[allow(clippy::too_many_arguments)]
+fn currents_span_with(
+    kernel: PanelKernel,
+    c1: &[f64],
+    c2: &[f64],
+    igate: &[f64],
+    a0: &[f64],
+    e0: &[f64],
+    temps_c: &[f64],
+    out: &mut [f64],
+) {
+    let len = out.len();
+    #[cfg(debug_assertions)]
+    for k in 0..len {
         debug_assert!(
             a0[k].is_finite() && e0[k].is_finite(),
             "leakage cell {k} evaluated with an invalid anchor"
         );
-        let t = celsius_to_kelvin(temps_c[k]);
-        let delta = c2[k] / t - a0[k];
-        *slot = c1[k] * t * t * (e0[k] * exp_delta(delta)) + igate[k];
     }
+    let kernel = if kernel.is_available() {
+        kernel
+    } else {
+        PanelKernel::Scalar
+    };
+    let mut k = 0;
+    match kernel {
+        #[cfg(target_arch = "x86_64")]
+        PanelKernel::Avx2Fma => {
+            let vec_len = len - len % 4;
+            if vec_len > 0 {
+                // SAFETY: availability was just checked; all slices cover
+                // `len >= vec_len` cells.
+                unsafe { leak_avx2::span(c1, c2, igate, a0, e0, temps_c, out, vec_len) };
+            }
+            k = vec_len;
+        }
+        #[cfg(target_arch = "aarch64")]
+        PanelKernel::Neon => {
+            let vec_len = len - len % 2;
+            if vec_len > 0 {
+                // SAFETY: as above.
+                unsafe { leak_neon::span(c1, c2, igate, a0, e0, temps_c, out, vec_len) };
+            }
+            k = vec_len;
+        }
+        _ => {}
+    }
+    while k < len {
+        out[k] = leak_cell(c1[k], c2[k], igate[k], a0[k], e0[k], temps_c[k]);
+        k += 1;
+    }
+}
+
+/// One cell of the anchored leakage evaluation — the scalar reference the
+/// vector arms mirror operation for operation.
+#[inline(always)]
+fn leak_cell(c1: f64, c2: f64, igate: f64, a0: f64, e0: f64, temp_c: f64) -> f64 {
+    let t = celsius_to_kelvin(temp_c);
+    let delta = c2 / t - a0;
+    let e = e0 * exp_delta(delta);
+    madd(c1 * t * t, e, igate)
 }
 
 /// `e^d` for a small drift `|d| ≲ 0.05` via a degree-7 polynomial (Estrin
 /// form for instruction-level parallelism). The truncation error at
 /// `|d| = 0.05` is `0.05^8/8! ≈ 1e-15` relative — below one ulp of the full
-/// leakage expression.
+/// leakage expression. Accumulates through [`madd`] so the scalar and vector
+/// evaluations fuse identically under the `fma` feature.
 #[inline(always)]
 fn exp_delta(d: f64) -> f64 {
     let d2 = d * d;
     let p01 = 1.0 + d;
-    let p23 = 0.5 + d * (1.0 / 6.0);
-    let p45 = (1.0 / 24.0) + d * (1.0 / 120.0);
-    let p67 = (1.0 / 720.0) + d * (1.0 / 5040.0);
-    (p01 + d2 * p23) + d2 * d2 * (p45 + d2 * p67)
+    let p23 = madd(d, 1.0 / 6.0, 0.5);
+    let p45 = madd(d, 1.0 / 120.0, 1.0 / 24.0);
+    let p67 = madd(d, 1.0 / 5040.0, 1.0 / 720.0);
+    madd(d2 * d2, madd(d2, p67, p45), madd(d2, p23, p01))
+}
+
+/// AVX2 arm of the leakage span: 4 cells per vector, operation order
+/// identical to [`leak_cell`] per lane (divide → drift polynomial → fused
+/// accumulate).
+#[cfg(target_arch = "x86_64")]
+mod leak_avx2 {
+    #[cfg(feature = "fma")]
+    use core::arch::x86_64::_mm256_fmadd_pd;
+    use core::arch::x86_64::{
+        __m256d, _mm256_add_pd, _mm256_div_pd, _mm256_loadu_pd, _mm256_mul_pd, _mm256_set1_pd,
+        _mm256_storeu_pd, _mm256_sub_pd,
+    };
+
+    /// `acc + a·x` per lane, rounding exactly like `numeric::simd::madd`.
+    #[cfg_attr(not(feature = "fma"), target_feature(enable = "avx2"))]
+    #[cfg_attr(feature = "fma", target_feature(enable = "avx2", enable = "fma"))]
+    #[inline]
+    unsafe fn vmadd(a: __m256d, x: __m256d, acc: __m256d) -> __m256d {
+        #[cfg(not(feature = "fma"))]
+        {
+            _mm256_add_pd(acc, _mm256_mul_pd(a, x))
+        }
+        #[cfg(feature = "fma")]
+        {
+            _mm256_fmadd_pd(a, x, acc)
+        }
+    }
+
+    /// The vector body of `currents_span_with` over cells `[0, vec_len)`
+    /// (`vec_len` a multiple of 4).
+    ///
+    /// # Safety
+    ///
+    /// AVX2 (and FMA under the `fma` feature) must be available; every slice
+    /// must cover at least `vec_len` cells.
+    #[allow(clippy::too_many_arguments)]
+    #[cfg_attr(not(feature = "fma"), target_feature(enable = "avx2"))]
+    #[cfg_attr(feature = "fma", target_feature(enable = "avx2", enable = "fma"))]
+    pub(super) unsafe fn span(
+        c1: &[f64],
+        c2: &[f64],
+        igate: &[f64],
+        a0: &[f64],
+        e0: &[f64],
+        temps_c: &[f64],
+        out: &mut [f64],
+        vec_len: usize,
+    ) {
+        // One vector's worth of the per-cell pipeline; the caller interleaves
+        // two of these per pass so the divide latency chains overlap.
+        #[cfg_attr(not(feature = "fma"), target_feature(enable = "avx2"))]
+        #[cfg_attr(feature = "fma", target_feature(enable = "avx2", enable = "fma"))]
+        #[inline]
+        #[allow(clippy::too_many_arguments)]
+        unsafe fn cell4(
+            c1: &[f64],
+            c2: &[f64],
+            igate: &[f64],
+            a0: &[f64],
+            e0: &[f64],
+            temps_c: &[f64],
+            out: &mut [f64],
+            k: usize,
+        ) {
+            let kelvin = _mm256_set1_pd(273.15);
+            let one = _mm256_set1_pd(1.0);
+            let c3 = _mm256_set1_pd(1.0 / 6.0);
+            let half = _mm256_set1_pd(0.5);
+            let c5 = _mm256_set1_pd(1.0 / 120.0);
+            let c4 = _mm256_set1_pd(1.0 / 24.0);
+            let c7 = _mm256_set1_pd(1.0 / 5040.0);
+            let c6 = _mm256_set1_pd(1.0 / 720.0);
+            let t = _mm256_add_pd(_mm256_loadu_pd(temps_c.as_ptr().add(k)), kelvin);
+            let d = _mm256_sub_pd(
+                _mm256_div_pd(_mm256_loadu_pd(c2.as_ptr().add(k)), t),
+                _mm256_loadu_pd(a0.as_ptr().add(k)),
+            );
+            let d2 = _mm256_mul_pd(d, d);
+            let p01 = _mm256_add_pd(one, d);
+            let p23 = vmadd(d, c3, half);
+            let p45 = vmadd(d, c5, c4);
+            let p67 = vmadd(d, c7, c6);
+            let expd = vmadd(
+                _mm256_mul_pd(d2, d2),
+                vmadd(d2, p67, p45),
+                vmadd(d2, p23, p01),
+            );
+            let e = _mm256_mul_pd(_mm256_loadu_pd(e0.as_ptr().add(k)), expd);
+            let pre = _mm256_mul_pd(_mm256_mul_pd(_mm256_loadu_pd(c1.as_ptr().add(k)), t), t);
+            let i = vmadd(pre, e, _mm256_loadu_pd(igate.as_ptr().add(k)));
+            _mm256_storeu_pd(out.as_mut_ptr().add(k), i);
+        }
+
+        let mut k = 0;
+        while k + 8 <= vec_len {
+            cell4(c1, c2, igate, a0, e0, temps_c, out, k);
+            cell4(c1, c2, igate, a0, e0, temps_c, out, k + 4);
+            k += 8;
+        }
+        while k < vec_len {
+            cell4(c1, c2, igate, a0, e0, temps_c, out, k);
+            k += 4;
+        }
+    }
+}
+
+/// NEON arm of the leakage span: 2 cells per vector, operation order
+/// identical to [`leak_cell`] per lane.
+#[cfg(target_arch = "aarch64")]
+mod leak_neon {
+    #[cfg(feature = "fma")]
+    use core::arch::aarch64::vfmaq_f64;
+    use core::arch::aarch64::{
+        float64x2_t, vaddq_f64, vdivq_f64, vdupq_n_f64, vld1q_f64, vmulq_f64, vst1q_f64, vsubq_f64,
+    };
+
+    /// `acc + a·x` per lane, rounding exactly like `numeric::simd::madd`.
+    #[target_feature(enable = "neon")]
+    #[inline]
+    unsafe fn vmadd(a: float64x2_t, x: float64x2_t, acc: float64x2_t) -> float64x2_t {
+        #[cfg(not(feature = "fma"))]
+        {
+            vaddq_f64(acc, vmulq_f64(a, x))
+        }
+        #[cfg(feature = "fma")]
+        {
+            vfmaq_f64(acc, a, x)
+        }
+    }
+
+    /// The vector body of `currents_span_with` over cells `[0, vec_len)`
+    /// (`vec_len` a multiple of 2).
+    ///
+    /// # Safety
+    ///
+    /// NEON must be available; every slice must cover at least `vec_len`
+    /// cells.
+    #[allow(clippy::too_many_arguments)]
+    #[target_feature(enable = "neon")]
+    pub(super) unsafe fn span(
+        c1: &[f64],
+        c2: &[f64],
+        igate: &[f64],
+        a0: &[f64],
+        e0: &[f64],
+        temps_c: &[f64],
+        out: &mut [f64],
+        vec_len: usize,
+    ) {
+        let kelvin = vdupq_n_f64(273.15);
+        let one = vdupq_n_f64(1.0);
+        let c3 = vdupq_n_f64(1.0 / 6.0);
+        let half = vdupq_n_f64(0.5);
+        let c5 = vdupq_n_f64(1.0 / 120.0);
+        let c4 = vdupq_n_f64(1.0 / 24.0);
+        let c7 = vdupq_n_f64(1.0 / 5040.0);
+        let c6 = vdupq_n_f64(1.0 / 720.0);
+        let mut k = 0;
+        while k < vec_len {
+            let t = vaddq_f64(vld1q_f64(temps_c.as_ptr().add(k)), kelvin);
+            let d = vsubq_f64(
+                vdivq_f64(vld1q_f64(c2.as_ptr().add(k)), t),
+                vld1q_f64(a0.as_ptr().add(k)),
+            );
+            let d2 = vmulq_f64(d, d);
+            let p01 = vaddq_f64(one, d);
+            let p23 = vmadd(d, c3, half);
+            let p45 = vmadd(d, c5, c4);
+            let p67 = vmadd(d, c7, c6);
+            let expd = vmadd(vmulq_f64(d2, d2), vmadd(d2, p67, p45), vmadd(d2, p23, p01));
+            let e = vmulq_f64(vld1q_f64(e0.as_ptr().add(k)), expd);
+            let pre = vmulq_f64(vmulq_f64(vld1q_f64(c1.as_ptr().add(k)), t), t);
+            let i = vmadd(pre, e, vld1q_f64(igate.as_ptr().add(k)));
+            vst1q_f64(out.as_mut_ptr().add(k), i);
+            k += 2;
+        }
+    }
 }
 
 /// Temperature-dependent leakage model for one power domain.
@@ -488,6 +741,20 @@ impl LeakageModel {
 mod tests {
     use super::*;
 
+    /// In the default build the panel reproduces [`LeakageModel::current_a`]
+    /// bit for bit at the anchor. Under the `fma` feature the panel's final
+    /// accumulate fuses while `current_a` (libm form) does not, so the
+    /// contract relaxes to a few ulps.
+    fn assert_current_matches(got: f64, want: f64, ctx: &str) {
+        #[cfg(not(feature = "fma"))]
+        assert_eq!(got, want, "{ctx}");
+        #[cfg(feature = "fma")]
+        {
+            let ulps = (got.to_bits() as i64 - want.to_bits() as i64).abs();
+            assert!(ulps <= 4, "{ctx}: {got} vs {want} ({ulps} ulps)");
+        }
+    }
+
     #[test]
     fn currents_batch_is_bit_identical_to_scalar() {
         let model = LeakageModel::exynos5410_big();
@@ -514,11 +781,11 @@ mod tests {
         panel.anchor_row(1, &temps);
         panel.currents_row_into(0, &temps, &mut out);
         for (k, &t) in temps.iter().enumerate() {
-            assert_eq!(out[k], big.current_a(t), "big lane {k}");
+            assert_current_matches(out[k], big.current_a(t), &format!("big lane {k}"));
         }
         panel.currents_row_into(1, &temps, &mut out);
         for (k, &t) in temps.iter().enumerate() {
-            assert_eq!(out[k], gpu.current_a(t), "gpu lane {k}");
+            assert_current_matches(out[k], gpu.current_a(t), &format!("gpu lane {k}"));
         }
     }
 
@@ -560,7 +827,7 @@ mod tests {
         panel.currents_into(&temps, &mut out);
         for (k, &i) in out.iter().enumerate() {
             assert!(i.is_finite(), "cell {k} must be finite without anchoring");
-            assert_eq!(i, model.current_a(52.0), "cell {k}");
+            assert_current_matches(i, model.current_a(52.0), &format!("cell {k}"));
         }
     }
 
@@ -581,12 +848,45 @@ mod tests {
         panel.set_model(0, 1, &gpu, 61.0);
         panel.currents_row_into(0, &[48.3, 61.0, 48.3], &mut out);
         assert!(out.iter().all(|i| i.is_finite()));
-        assert_eq!(out[1], gpu.current_a(61.0), "admitted lane is exact");
+        assert_current_matches(out[1], gpu.current_a(61.0), "admitted lane is exact");
         // Neighbouring lanes keep tracking the old model within drift budget.
         let exact = big.current_a(48.3);
         for &lane in &[0usize, 2] {
             let rel = ((out[lane] - exact) / exact).abs();
             assert!(rel < 5e-15, "lane {lane} rel error {rel:.3e}");
+        }
+    }
+
+    #[test]
+    fn currents_kernel_arms_are_bit_identical() {
+        // All dispatch arms perform the same per-cell operation sequence, so
+        // they must agree to the bit in both the default and `fma` builds —
+        // including at awkward span lengths that exercise the vector tail.
+        let big = LeakageModel::exynos5410_big();
+        let gpu = LeakageModel::exynos5410_gpu();
+        for lanes in [1, 2, 3, 4, 5, 7, 8, 13] {
+            let mut panel = LeakagePanel::filled(3, lanes, &big, 48.0);
+            for lane in 0..lanes {
+                panel.set_model(2, lane, &gpu, 48.0 + lane as f64);
+            }
+            let cells = 3 * lanes;
+            let temps: Vec<f64> = (0..cells).map(|k| 48.0 + (k as f64) * 0.013).collect();
+            let mut scalar = vec![0.0; cells];
+            panel.currents_into_with(PanelKernel::Scalar, &temps, &mut scalar);
+            for kernel in [PanelKernel::Avx2Fma, PanelKernel::Neon] {
+                if !kernel.is_available() {
+                    continue;
+                }
+                let mut wide = vec![0.0; cells];
+                panel.currents_into_with(kernel, &temps, &mut wide);
+                for (k, (s, w)) in scalar.iter().zip(&wide).enumerate() {
+                    assert_eq!(
+                        s.to_bits(),
+                        w.to_bits(),
+                        "kernel {kernel:?} lanes {lanes} cell {k}"
+                    );
+                }
+            }
         }
     }
 

@@ -543,25 +543,23 @@ impl BatchPlant {
         // constant rows were prefilled at interval setup.
         if *aligned_leak_rows {
             let span = LEAK_ROWS * lanes;
-            let out = &mut powers.as_mut_slice()[..span];
-            let base = &base.as_slice()[..span];
-            let coef = &coef.as_slice()[..span];
-            let cur = &currents.as_slice()[..span];
-            for k in 0..span {
-                out[k] = base[k] + coef[k] * cur[k];
-            }
+            numeric::simd::fused_mul_add_span(
+                &base.as_slice()[..span],
+                &coef.as_slice()[..span],
+                &currents.as_slice()[..span],
+                &mut powers.as_mut_slice()[..span],
+            );
         } else {
             for (node, &src) in node_leak_row.iter().enumerate() {
                 if src == usize::MAX {
                     continue;
                 }
-                let base = base.row(node);
-                let coef = coef.row(node);
-                let cur = currents.row(src);
-                let out = powers.row_mut(node);
-                for l in 0..lanes {
-                    out[l] = base[l] + coef[l] * cur[l];
-                }
+                numeric::simd::fused_mul_add_span(
+                    base.row(node),
+                    coef.row(node),
+                    currents.row(src),
+                    powers.row_mut(node),
+                );
             }
         }
 

@@ -654,7 +654,7 @@ impl StepTransition {
             let r_col = &self.r_t[j * n..(j + 1) * n];
             let s_col = &self.s_power_t[j * n..(j + 1) * n];
             for i in 0..n {
-                tmp[i] += r_col[i] * tj + s_col[i] * pj;
+                tmp[i] = numeric::simd::madd2(r_col[i], tj, s_col[i], pj, tmp[i]);
             }
         }
         temps.copy_from_slice(tmp);
@@ -759,7 +759,13 @@ impl BatchStepTransition {
         for (i, slot) in col.iter_mut().enumerate() {
             let mut acc = self.ambient_drive[i];
             for j in 0..n {
-                acc += r[i * n + j] * temps.get(j, lane) + s[i * n + j] * powers.get(j, lane);
+                acc = numeric::simd::madd2(
+                    r[i * n + j],
+                    temps.get(j, lane),
+                    s[i * n + j],
+                    powers.get(j, lane),
+                    acc,
+                );
             }
             *slot = acc;
         }

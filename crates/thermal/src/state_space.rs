@@ -411,9 +411,10 @@ impl HorizonMap {
             for (i, slot) in out.iter_mut().enumerate() {
                 let mut acc = 0.0;
                 for j in 0..n {
-                    // One fused expression per j, matching the panel kernel's
-                    // rounding exactly.
-                    acc += a[i * n + j] * state[j] + b[i * m + j] * powers[j];
+                    // One madd2 step per j, matching the panel kernel's
+                    // rounding exactly in both the default and fma builds.
+                    acc =
+                        numeric::simd::madd2(a[i * n + j], state[j], b[i * m + j], powers[j], acc);
                 }
                 *slot = acc;
             }
