@@ -17,6 +17,10 @@ pub enum DtpmError {
     },
     /// A configuration value was out of range.
     InvalidConfig(&'static str),
+    /// A decision input (temperature or power measurement) was NaN or
+    /// infinite. The policy refuses to classify on corrupt data — the caller
+    /// must screen or drain instead.
+    NonFiniteInput(&'static str),
     /// The thermal model rejected an operation.
     Thermal(String),
     /// The platform model rejected an operation.
@@ -31,6 +35,9 @@ impl fmt::Display for DtpmError {
                 "thermal model has {states} states and {inputs} inputs, expected 4 and 4"
             ),
             DtpmError::InvalidConfig(msg) => write!(f, "invalid DTPM configuration: {msg}"),
+            DtpmError::NonFiniteInput(what) => {
+                write!(f, "non-finite decision input: {what}")
+            }
             DtpmError::Thermal(msg) => write!(f, "thermal model error: {msg}"),
             DtpmError::Platform(msg) => write!(f, "platform model error: {msg}"),
         }

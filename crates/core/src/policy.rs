@@ -235,12 +235,26 @@ impl DtpmPolicy {
     /// # Errors
     ///
     /// Returns an error for a malformed proposed state (frequency not in the
-    /// OPP tables).
+    /// OPP tables), or [`DtpmError::NonFiniteInput`] when a measured
+    /// temperature or power is NaN/infinite — the policy refuses to classify
+    /// on corrupt sensor data (a NaN would otherwise be silently swallowed
+    /// by the max fold below and poison the leakage linearisation).
     pub fn proposal_powers(
         &self,
         inputs: &DtpmInputs<'_>,
         power_model: &PowerModel,
     ) -> Result<DomainPower, DtpmError> {
+        if inputs.core_temps_c.iter().any(|t| !t.is_finite()) {
+            return Err(DtpmError::NonFiniteInput("measured core temperature"));
+        }
+        if !inputs
+            .measured_power
+            .as_array()
+            .iter()
+            .all(|p| p.is_finite())
+        {
+            return Err(DtpmError::NonFiniteInput("measured domain power"));
+        }
         let hot_temp = inputs
             .core_temps_c
             .iter()

@@ -50,6 +50,22 @@ impl ReactiveThrottler {
         }
     }
 
+    /// A throttler re-anchored to an arbitrary temperature constraint,
+    /// keeping the paper's threshold spacing and cut factors: the strong
+    /// stage engages at the constraint, the mild stage 5 °C below it and the
+    /// release 11 °C below it (the 63/68/57 °C geometry of
+    /// [`ReactiveThrottler::paper_default`], slid to `constraint_c`). This is
+    /// the degraded-mode fallback a predictive policy demotes to when its
+    /// sensor chain goes unreliable — same constraint, no model in the loop.
+    pub fn for_constraint(constraint_c: f64) -> Self {
+        ReactiveThrottler {
+            mild_threshold_c: constraint_c - 5.0,
+            strong_threshold_c: constraint_c,
+            release_threshold_c: constraint_c - 11.0,
+            ..ReactiveThrottler::paper_default()
+        }
+    }
+
     /// Whether the throttler is currently limiting the frequency.
     pub fn is_throttling(&self) -> bool {
         self.stage != ThrottleStage::None

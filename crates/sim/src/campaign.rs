@@ -7,9 +7,12 @@
 //! calibration/characterisation studies of the related work explore the
 //! power–temperature state space over exactly such grids. [`SweepSpec`]
 //! declares one: a cartesian product of configuration axes
-//! (ExperimentKinds × benchmarks × ambients × replicates × DTPM variants)
-//! with deterministic per-cell seed derivation, so a campaign is a small
-//! value that can be serialised, reviewed, and re-run bit-identically.
+//! (ExperimentKinds × benchmarks × ambients × DTPM variants × fault
+//! scenarios × replicates) with deterministic per-cell seed derivation, so a
+//! campaign is a small value that can be serialised, reviewed, and re-run
+//! bit-identically. The fault axis (default: a single fault-free entry)
+//! injects [`FaultPlan`] sensor-fault scenarios into whole slices of the
+//! grid, turning robustness studies into ordinary campaign cells.
 //!
 //! Three properties matter at scale:
 //!
@@ -33,8 +36,13 @@ use workload::BenchmarkId;
 
 use crate::calibrate::Calibration;
 use crate::experiment::{sweep_stream, ExperimentConfig, ExperimentKind, ResultSink};
+use crate::faults::FaultPlan;
 use crate::observer::TracePolicy;
 use crate::plant::PlantPowerParams;
+
+fn default_fault_axis() -> Vec<Option<FaultPlan>> {
+    vec![None]
+}
 
 /// SplitMix64: the finalising mix of a 64-bit counter into a well-distributed
 /// 64-bit value (Steele et al., *Fast splittable pseudorandom number
@@ -84,8 +92,8 @@ impl DtpmVariant {
 /// per-cell seeds (see the [module docs](self)).
 ///
 /// Cells are ordered kind-major: the linear index decomposes as
-/// kinds × benchmarks × ambients × variants × replicates, with the
-/// replicate axis fastest. Every cell shares the campaign's scalar
+/// kinds × benchmarks × ambients × variants × fault plans × replicates,
+/// with the replicate axis fastest. Every cell shares the campaign's scalar
 /// parameters (control period, duration cap, plant, sensors), so a whole
 /// grid steps in lockstep through the batched engines.
 ///
@@ -124,7 +132,14 @@ pub struct SweepSpec {
     pub ambients_c: Vec<f64>,
     /// DTPM algorithm variants (grid axis 4; ignored by non-DTPM kinds).
     pub dtpm_variants: Vec<DtpmVariant>,
-    /// Replicate runs per grid point (grid axis 5, the seed axis): each
+    /// Sensor fault scenarios (grid axis 5): each entry is a fault plan to
+    /// inject into every run of that slice of the grid, with `None` the
+    /// fault-free baseline. Defaults to a single fault-free entry, which
+    /// leaves the cell indexing (and therefore every derived seed) of
+    /// pre-fault-axis campaigns unchanged.
+    #[serde(default = "default_fault_axis")]
+    pub fault_plans: Vec<Option<FaultPlan>>,
+    /// Replicate runs per grid point (grid axis 6, the seed axis): each
     /// replicate derives a distinct per-cell seed.
     pub replicates: usize,
     /// Campaign master seed every cell seed is derived from.
@@ -152,6 +167,7 @@ impl SweepSpec {
             benchmarks,
             ambients_c: vec![defaults.ambient_c],
             dtpm_variants: vec![DtpmVariant::default()],
+            fault_plans: default_fault_axis(),
             replicates: 1,
             campaign_seed: 1,
             base_dtpm: defaults.dtpm,
@@ -173,6 +189,15 @@ impl SweepSpec {
     #[must_use]
     pub fn with_dtpm_variants(mut self, dtpm_variants: Vec<DtpmVariant>) -> Self {
         self.dtpm_variants = dtpm_variants;
+        self
+    }
+
+    /// Replaces the sensor-fault axis. Each entry applies to a full slice of
+    /// the grid (`None` = fault-free); pass `vec![None, Some(plan)]` to run
+    /// every scenario both clean and faulted.
+    #[must_use]
+    pub fn with_fault_plans(mut self, fault_plans: Vec<Option<FaultPlan>>) -> Self {
+        self.fault_plans = fault_plans;
         self
     }
 
@@ -211,6 +236,7 @@ impl SweepSpec {
             * self.benchmarks.len()
             * self.ambients_c.len()
             * self.dtpm_variants.len()
+            * self.fault_plans.len()
             * self.replicates
     }
 
@@ -237,6 +263,8 @@ impl SweepSpec {
         let mut rem = index;
         let replicate = rem % self.replicates;
         rem /= self.replicates;
+        let fault = rem % self.fault_plans.len();
+        rem /= self.fault_plans.len();
         let variant = self.dtpm_variants[rem % self.dtpm_variants.len()];
         rem /= self.dtpm_variants.len();
         let ambient_c = self.ambients_c[rem % self.ambients_c.len()];
@@ -253,6 +281,7 @@ impl SweepSpec {
         config.max_duration_s = self.max_duration_s;
         config.plant = self.plant;
         config.ideal_sensors = self.ideal_sensors;
+        config.faults = self.fault_plans[fault].clone();
         config
     }
 
@@ -444,6 +473,49 @@ mod tests {
         assert_eq!(config.dtpm.min_big_cores, 1, "base carries through");
         assert_eq!(config.dtpm.prediction_horizon_steps, 20, "variant applies");
         assert_eq!(config.dtpm.temperature_constraint_c, 60.0);
+    }
+
+    #[test]
+    fn fault_axis_defaults_to_fault_free_and_slices_the_grid() {
+        use crate::faults::{FaultKind, FaultWindow, SensorChannel};
+
+        // Default axis: one fault-free entry, invisible in the cell count and
+        // in every materialised config.
+        let clean = spec();
+        assert_eq!(clean.fault_plans, vec![None]);
+        assert!(clean.expand().all(|config| config.faults.is_none()));
+
+        // A two-entry axis doubles the grid; each half shares its plan, and
+        // the seeds of the fault-free half are NOT the same as the
+        // corresponding clean-campaign seeds (the axis reindexes cells).
+        let plan = FaultPlan::new(9).with_window(FaultWindow {
+            channel: SensorChannel::CoreTemp(0),
+            kind: FaultKind::Dropped,
+            start_s: 1.0,
+            end_s: 2.0,
+        });
+        let faulted = spec().with_fault_plans(vec![None, Some(plan.clone())]);
+        assert_eq!(faulted.cells(), clean.cells() * 2);
+        let with_plan = faulted
+            .expand()
+            .filter(|config| config.faults.is_some())
+            .count();
+        assert_eq!(with_plan, clean.cells());
+        assert!(faulted
+            .expand()
+            .filter_map(|config| config.faults)
+            .all(|p| p == plan));
+        // Replicates stay fastest: consecutive indices inside one fault slice
+        // share a plan.
+        let replicates = faulted.replicates;
+        for base in (0..faulted.cells()).step_by(replicates * 2) {
+            for offset in 1..replicates {
+                assert_eq!(
+                    faulted.cell(base).faults.is_some(),
+                    faulted.cell(base + offset).faults.is_some()
+                );
+            }
+        }
     }
 
     #[test]

@@ -19,6 +19,11 @@ pub enum SimError {
     Identification(String),
     /// The DTPM policy failed.
     Dtpm(String),
+    /// The sensor chain went unreliable past the configured budgets (and the
+    /// degraded fallback was disabled, or a reading reached the control loop
+    /// unscreened and invalid), so the run drained instead of deciding on
+    /// corrupt data.
+    Sensor(String),
     /// Writing an output file (CSV trace) failed.
     Io(String),
 }
@@ -32,6 +37,7 @@ impl fmt::Display for SimError {
             SimError::Power(msg) => write!(f, "power model error: {msg}"),
             SimError::Identification(msg) => write!(f, "system identification error: {msg}"),
             SimError::Dtpm(msg) => write!(f, "DTPM policy error: {msg}"),
+            SimError::Sensor(msg) => write!(f, "sensor chain error: {msg}"),
             SimError::Io(msg) => write!(f, "i/o error: {msg}"),
         }
     }

@@ -26,9 +26,11 @@ use workload::{BenchmarkId, Demand, WorkloadState};
 
 use crate::calibrate::Calibration;
 use crate::engine::{LaneInput, PanelEngine, PlantEngine, ScalarEngine};
+use crate::faults::{FaultInjector, FaultPlan};
 use crate::metrics::RunSummary;
 use crate::observer::{OnlineRunStats, RunObserver, TracePolicy};
 use crate::plant::{PlantPowerParams, PlantStep};
+use crate::safety::{IncidentLog, SafetyConfig, SafetyLadder, SensorHealth};
 use crate::sensors::{SensorReadings, SensorSuite};
 use crate::trace::{Trace, TraceRecord};
 use crate::SimError;
@@ -94,6 +96,16 @@ pub struct ExperimentConfig {
     pub plant: PlantPowerParams,
     /// Use ideal (noise-free) sensors instead of the realistic sensor chain.
     pub ideal_sensors: bool,
+    /// Sensor fault scenario injected over the sampled readings (`None` or
+    /// an empty plan: healthy sensors). Deterministic per plan seed.
+    #[serde(default)]
+    pub faults: Option<FaultPlan>,
+    /// Safety ladder and sensor-health configuration. The default arms both
+    /// layers; their thresholds sit above every fault-free trajectory, so
+    /// healthy runs are bit-identical with or without them
+    /// ([`SafetyConfig::disabled`] turns both off).
+    #[serde(default)]
+    pub safety: SafetyConfig,
 }
 
 impl ExperimentConfig {
@@ -110,12 +122,28 @@ impl ExperimentConfig {
             dtpm: DtpmConfig::default(),
             plant: PlantPowerParams::default(),
             ideal_sensors: false,
+            faults: None,
+            safety: SafetyConfig::default(),
         }
     }
 
     /// Returns the configuration with a different seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Returns the configuration with the given sensor fault scenario.
+    #[must_use]
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = Some(faults);
+        self
+    }
+
+    /// Returns the configuration with the given safety/health configuration.
+    #[must_use]
+    pub fn with_safety(mut self, safety: SafetyConfig) -> Self {
+        self.safety = safety;
         self
     }
 }
@@ -204,6 +232,23 @@ struct ControlLoop {
     power_model: PowerModel,
     state: PlatformState,
     readings: SensorReadings,
+    /// Replays the configured [`FaultPlan`] over each interval's sampled
+    /// readings (`None`: healthy sensors, zero per-interval work).
+    faults: Option<FaultInjector>,
+    /// Screens every reading before the policy sees it and tracks chain
+    /// reliability (the degraded-mode state machine).
+    health: SensorHealth,
+    /// The escalating thermal watchdog above the policy.
+    ladder: SafetyLadder,
+    /// Every robustness event of the run, in firing order.
+    incidents: IncidentLog,
+    /// Incidents already streamed through the tracer's
+    /// [`RunObserver::on_incident`] hook.
+    published_incidents: usize,
+    /// Set when the ladder's terminal rung fires: the run retires at the
+    /// end of the interval (always after ≥ 1 absorbed interval, so a
+    /// retiring run's statistics are never empty).
+    shutdown: bool,
     /// Streaming run statistics, maintained for every run regardless of the
     /// trace policy (they cost a handful of flops per interval and make the
     /// [`RunSummary`] unconditional).
@@ -295,13 +340,43 @@ impl ControlLoop {
         };
         let state = PlatformState::default_for(&spec);
         let max_steps = (config.max_duration_s / config.control_period_s).ceil() as usize;
+        // The degraded-mode fallback throttler: a DTPM lane that loses its
+        // sensor chain demotes to reactive throttling *at the policy's own
+        // constraint*; other kinds keep the paper's reactive geometry.
+        let reactive = match &dtpm_policy {
+            Some(policy) => ReactiveThrottler::for_constraint(policy.effective_constraint_c()),
+            None => ReactiveThrottler::paper_default(),
+        };
+        let mut health_config = config.safety.health;
+        if config.ideal_sensors {
+            // A noiseless chain legitimately repeats readings exactly (the
+            // plant settling to an f64 fixed point), so flatline detection
+            // is only meaningful for a noisy chain.
+            health_config.flatline_intervals = 0;
+        }
+        let mut faults = config
+            .faults
+            .clone()
+            .filter(|plan| !plan.is_empty())
+            .map(FaultInjector::new);
+        let mut health = SensorHealth::new(health_config);
+        let mut ladder = SafetyLadder::new(config.safety.ladder);
+        let mut incidents = IncidentLog::default();
         // Bootstrap sensor readings from the initial plant state (every node
-        // starts at the configured initial temperature).
-        let readings = sensors.sample(
+        // starts at the configured initial temperature), through the same
+        // inject → screen → observe chain every later interval takes
+        // (interval 0 = the bootstrap sample).
+        let sampled = sensors.sample(
             [config.plant.initial_temp_c; 4],
             &power_model::DomainPower::default(),
             config.plant.board_base_w,
         );
+        let sampled = match faults.as_mut() {
+            Some(injector) => injector.apply(0, 0.0, sampled),
+            None => sampled,
+        };
+        let readings = health.screen(0, 0.0, sampled, &mut incidents);
+        ladder.observe(0, 0.0, readings.max_core_temp_c(), &mut incidents);
         Ok(ControlLoop {
             config: config.clone(),
             spec,
@@ -310,11 +385,17 @@ impl ControlLoop {
             governor: OndemandGovernor::default(),
             hotplug: HotplugGovernor::exynos_default(),
             fan,
-            reactive: ReactiveThrottler::paper_default(),
+            reactive,
             dtpm_policy,
             power_model: calibration.power_model.clone(),
             state,
             readings,
+            faults,
+            health,
+            ladder,
+            incidents,
+            published_incidents: 0,
+            shutdown: false,
             stats: OnlineRunStats::new(),
             tracer: recording.observer(),
             time_s: 0.0,
@@ -325,9 +406,10 @@ impl ControlLoop {
         })
     }
 
-    /// Whether the run is over (benchmark complete or duration cap reached).
+    /// Whether the run is over (benchmark complete, duration cap reached, or
+    /// the safety ladder's terminal rung fired).
     fn is_done(&self) -> bool {
-        self.completed || self.steps_taken >= self.max_steps
+        self.completed || self.shutdown || self.steps_taken >= self.max_steps
     }
 
     /// The default (stock governor) proposal for the next interval: the big
@@ -385,10 +467,44 @@ impl ControlLoop {
     ///
     /// # Errors
     ///
-    /// Propagates platform and DTPM errors.
+    /// Propagates platform and DTPM errors, and drains the lane with
+    /// [`SimError::Sensor`] when an invalid reading reaches the decision
+    /// boundary unscreened, or when the chain is unreliable and the degraded
+    /// fallback is disabled.
     fn stage(&mut self) -> Result<Staged, SimError> {
+        // The control-loop boundary check: with the health monitor armed
+        // this never trips (screening substituted already); with it off, a
+        // non-finite reading drains the lane with a structured error instead
+        // of flowing silently into fan control and throttling decisions.
+        if !self.readings.is_valid() {
+            return Err(SimError::Sensor(
+                "non-finite sensor reading reached the control loop unscreened".into(),
+            ));
+        }
         let demand = self.workload.demand();
         let proposal = self.default_proposal(&demand);
+
+        // Degraded mode: the chain is unreliable (a channel outlived its
+        // staleness budget). The predictive policy must not keep deciding on
+        // substituted data — demote it to the reactive throttler at its own
+        // constraint, or drain the lane when the fallback is disabled.
+        // Non-DTPM kinds have no model in the loop and carry on screened.
+        if self.config.kind == ExperimentKind::Dtpm && self.health.degraded() {
+            if !self.health.fallback_enabled() {
+                return Err(SimError::Sensor(
+                    "sensor chain unreliable and the degraded fallback is disabled".into(),
+                ));
+            }
+            let mut state = proposal;
+            let throttled = self.reactive.apply(
+                self.readings.max_core_temp_c(),
+                state.big_frequency,
+                self.spec.big_opps(),
+            );
+            let intervened = throttled != state.big_frequency;
+            state.big_frequency = throttled;
+            return Ok(Staged::Ready(self.commit(demand, state, None, intervened)));
+        }
 
         match self.config.kind {
             ExperimentKind::DefaultWithFan | ExperimentKind::WithoutFan => {
@@ -491,8 +607,9 @@ impl ControlLoop {
     }
 
     /// The shared tail of a decision: fan control (only meaningful in the
-    /// default configuration), programming the decided platform state, and
-    /// the [`IntervalDecision`] record.
+    /// default configuration), programming the decided platform state —
+    /// clamped by whatever rung the safety ladder currently holds, which
+    /// overrides *any* policy — and the [`IntervalDecision`] record.
     fn commit(
         &mut self,
         demand: Demand,
@@ -503,11 +620,12 @@ impl ControlLoop {
         let fan_level: FanLevel = self.fan.update(self.readings.max_core_temp_c());
         self.state = next_state;
         self.state.fan_level = fan_level;
+        let enforced = self.ladder.enforce(&mut self.state, &self.spec);
         IntervalDecision {
             demand,
             fan_level,
             predicted_peak_c,
-            intervened,
+            intervened: intervened || enforced,
         }
     }
 
@@ -542,10 +660,30 @@ impl ControlLoop {
         self.time_s += control_period;
         self.energy_j += step.platform_power_w * control_period;
 
-        // Sample the sensors for the next interval's decisions.
-        self.readings =
+        // Sample the sensors for the next interval's decisions, through the
+        // robustness chain: inject the configured faults over the sampled
+        // values, screen what the controller will see, and feed the screened
+        // maximum temperature to the watchdog.
+        let interval = self.steps_taken + 1;
+        let sampled =
             self.sensors
                 .sample(step.core_temps_c, &step.domain_power, step.platform_power_w);
+        let sampled = match self.faults.as_mut() {
+            Some(injector) => injector.apply(interval, self.time_s, sampled),
+            None => sampled,
+        };
+        self.readings = self
+            .health
+            .screen(interval, self.time_s, sampled, &mut self.incidents);
+        self.ladder.observe(
+            interval,
+            self.time_s,
+            self.readings.max_core_temp_c(),
+            &mut self.incidents,
+        );
+        if self.ladder.is_shutdown() {
+            self.shutdown = true;
+        }
 
         // Stream the interval through the observers instead of accumulating:
         // the online stats always fold it in (O(1) state), the policy's
@@ -567,6 +705,12 @@ impl ControlLoop {
         };
         self.stats.on_interval(&record);
         self.tracer.on_interval(&record);
+        // Stream incidents recorded since the last interval (including any
+        // from the bootstrap sample) through the tracer's incident hook.
+        for incident in &self.incidents.as_slice()[self.published_incidents..] {
+            self.tracer.on_incident(incident);
+        }
+        self.published_incidents = self.incidents.len();
 
         self.steps_taken += 1;
         if self.workload.is_complete() {
@@ -589,6 +733,7 @@ impl ControlLoop {
                 stability: self.stats.stability(),
                 intervention_rate: self.stats.intervention_rate(),
                 little_cluster_residency: self.stats.little_cluster_residency(),
+                incidents: self.incidents,
             },
             trace,
         }

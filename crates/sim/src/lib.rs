@@ -39,6 +39,17 @@
 //!   replicates × DTPM variants) expanded lazily with deterministic per-cell
 //!   seeds and streamed through the compacting sweep into a
 //!   [`experiment::ResultSink`].
+//! * [`faults`] — seed-deterministic sensor fault injection: a serde-able
+//!   [`faults::FaultPlan`] of per-channel fault windows (stuck-at, dropped,
+//!   offset drift, spikes, delayed readings) applied to the *measured*
+//!   chain by a [`faults::FaultInjector`], and exposed as a
+//!   [`campaign::SweepSpec`] grid axis.
+//! * [`safety`] — the robustness layer above any policy: the thermal
+//!   [`safety::SafetyLadder`] (Normal → Throttle → Critical →
+//!   SimulatedShutdown with hysteresis de-escalation), the
+//!   [`safety::SensorHealth`] monitor (plausibility screening, last-known-
+//!   good substitution, policy demotion/promotion), and the structured
+//!   [`safety::IncidentLog`] both record into.
 //! * [`engine`] — the pluggable [`engine::PlantEngine`] backend seam: the
 //!   per-interval plant contract (admit a lane, step all lanes, read per-lane
 //!   temperatures and accumulated energy) with the scalar
@@ -177,6 +188,39 @@
 //! length ([`observer::TracePolicy::Decimated`] sits in between with coarse
 //! trajectories). Scenario count is bounded by compute, not memory.
 //!
+//! # Robustness: faults, the safety ladder, graceful degradation
+//!
+//! Between sampling and the control decision sits a robustness stack,
+//! armed by default in every run:
+//!
+//! * **Fault injection** ([`faults`]): a [`faults::FaultPlan`] corrupts the
+//!   measured chain — never the plant — inside declared time windows.
+//!   Injection is a pure function of the plan seed and the interval index
+//!   (no RNG state), so the same seed + plan replay bit-identically
+//!   regardless of which sweep lane, thread, or shard the run lands on.
+//! * **Sensor health** ([`safety::SensorHealth`]): each channel is screened
+//!   against a plausibility envelope (finite, in range, not flatlined);
+//!   invalid readings are replaced with the last-known-good value under a
+//!   staleness budget. A chain stale beyond its budget demotes the DTPM
+//!   policy to the [`governors::ReactiveThrottler`] fallback (same
+//!   constraint, no model in the loop) and promotes it back after a
+//!   sustained healthy streak — or, with the fallback disabled, drains the
+//!   lane with a structured [`error::SimError::Sensor`] that never disturbs
+//!   lockstep siblings.
+//! * **Safety ladder** ([`safety::SafetyLadder`]): a watchdog above the
+//!   policy escalates Normal → Throttle → Critical → SimulatedShutdown on
+//!   the screened hot-spot temperature (with dwell + hysteresis
+//!   de-escalation) and enforces each rung after the policy commits;
+//!   shutdown retires the run.
+//!
+//! Every transition lands in the run's [`safety::IncidentLog`], streamed
+//! through [`observer::RunObserver::on_incident`] and carried by the
+//! [`RunSummary`]. The ladder thresholds sit above every fault-free
+//! trajectory, screening passes valid readings through bit-unchanged, and
+//! none of it draws from the RNG — so healthy runs are **bit-identical**
+//! with the stack armed or disabled (`tests/faults.rs`), at wall-clock
+//! overhead under 2 % (`safety_overhead` bench).
+//!
 //! # Example
 //!
 //! ```no_run
@@ -203,10 +247,12 @@ pub mod campaign;
 pub mod engine;
 pub mod error;
 pub mod experiment;
+pub mod faults;
 pub mod metrics;
 pub mod naive;
 pub mod observer;
 pub mod plant;
+pub mod safety;
 pub mod sensors;
 pub mod trace;
 
@@ -219,9 +265,14 @@ pub use experiment::{
     run_lockstep, CollectSink, Experiment, ExperimentConfig, ExperimentKind, ResultSink, RunReport,
     ScenarioSweep, SimulationResult,
 };
+pub use faults::{FaultInjector, FaultKind, FaultPlan, FaultWindow, SensorChannel};
 pub use metrics::{BenchmarkComparison, RunSummary, StabilityReport};
 pub use naive::NaivePhysicalPlant;
 pub use observer::{DecimatedTrace, OnlineRunStats, RunObserver, TracePolicy};
 pub use plant::{PhysicalPlant, PlantPowerParams};
+pub use safety::{
+    FaultObservation, HealthConfig, Incident, IncidentKind, IncidentLog, LadderConfig,
+    SafetyConfig, SafetyLadder, SafetyState, SensorHealth,
+};
 pub use sensors::{SensorReadings, SensorSuite};
 pub use trace::{Trace, TraceRecord};

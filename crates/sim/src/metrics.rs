@@ -5,6 +5,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::experiment::{ExperimentConfig, SimulationResult};
 use crate::observer::{OnlineRunStats, RunObserver};
+use crate::safety::IncidentLog;
 
 /// Thermal stability metrics of one run (the quantities behind Figure 6.5).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -87,6 +88,11 @@ pub struct RunSummary {
     pub intervention_rate: f64,
     /// Fraction of intervals spent on the little cluster.
     pub little_cluster_residency: f64,
+    /// Every robustness event of the run: sensor faults and recoveries,
+    /// safety-ladder transitions, policy demotions/promotions, shutdown.
+    /// Empty for a healthy run.
+    #[serde(default)]
+    pub incidents: IncidentLog,
 }
 
 impl RunSummary {
@@ -113,6 +119,11 @@ impl RunSummary {
             stability: stats.stability(),
             intervention_rate: stats.intervention_rate(),
             little_cluster_residency: stats.little_cluster_residency(),
+            // Traces do not carry incidents; a post-hoc summary of a healthy
+            // trace-retaining run matches its streamed twin (both logs
+            // empty). Runs with incidents must be read from their streamed
+            // summary, which carries the full log.
+            incidents: IncidentLog::default(),
         }
     }
 }

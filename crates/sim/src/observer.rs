@@ -33,6 +33,7 @@
 //! retained a trace.
 
 use crate::metrics::StabilityReport;
+use crate::safety::Incident;
 use crate::trace::{Trace, TraceRecord};
 
 /// Per-run streaming observation: one callback per absorbed control interval,
@@ -46,6 +47,15 @@ use crate::trace::{Trace, TraceRecord};
 pub trait RunObserver: std::fmt::Debug + Send {
     /// Called once per absorbed control interval, in time order.
     fn on_interval(&mut self, record: &TraceRecord);
+
+    /// Called once per robustness event (sensor fault/recovery, safety-ladder
+    /// transition, policy demotion/promotion, shutdown), in firing order,
+    /// interleaved with the interval stream. The default ignores them — the
+    /// full [`crate::safety::IncidentLog`] always rides on the run's
+    /// [`crate::metrics::RunSummary`] regardless; this hook is for observers
+    /// that want to *react* while the run is still in flight (live telemetry,
+    /// early alerts).
+    fn on_incident(&mut self, _incident: &Incident) {}
 
     /// Called once when the run retires (benchmark complete, duration cap, or
     /// error); hands back the retained trajectory, if any. The observer is

@@ -24,10 +24,33 @@ pub struct SensorReadings {
 
 impl SensorReadings {
     /// The maximum measured core temperature.
+    ///
+    /// NaN-propagating: a dropped (NaN) sensor lane makes the maximum NaN
+    /// instead of being silently skipped, so a corrupted reading cannot
+    /// masquerade as a cool one at the control-loop boundary. (`f64::max`
+    /// ignores NaN operands; the control loop folds temperatures into
+    /// throttling and prediction decisions, where "ignore the broken lane"
+    /// is exactly the wrong default.) For finite inputs the result is
+    /// bit-identical to the plain `f64::max` fold.
     pub fn max_core_temp_c(&self) -> f64 {
-        self.core_temps_c
-            .into_iter()
-            .fold(f64::NEG_INFINITY, f64::max)
+        let mut max = f64::NEG_INFINITY;
+        for &temp in &self.core_temps_c {
+            if temp.is_nan() {
+                return f64::NAN;
+            }
+            max = max.max(temp);
+        }
+        max
+    }
+
+    /// Whether every channel of this reading is finite: the validity check
+    /// applied at the control-loop boundary before any value is trusted.
+    /// (Range plausibility is judged by the sensor-health monitor, which
+    /// knows the configured operating envelope.)
+    pub fn is_valid(&self) -> bool {
+        self.core_temps_c.iter().all(|t| t.is_finite())
+            && self.domain_power.as_array().iter().all(|p| p.is_finite())
+            && self.platform_power_w.is_finite()
     }
 }
 
@@ -71,7 +94,10 @@ impl SensorSuite {
     }
 
     fn gaussian(&mut self, sigma: f64) -> f64 {
-        if sigma <= 0.0 {
+        // `!(sigma > 0)` rather than `sigma <= 0`: a non-finite (NaN) sigma
+        // from a degenerate config must disable the noise, not inject NaN
+        // into every reading. (+inf still fails the finite check below.)
+        if !(sigma > 0.0) || !sigma.is_finite() {
             return 0.0;
         }
         // Box–Muller transform on two uniform samples.
@@ -81,7 +107,10 @@ impl SensorSuite {
     }
 
     fn quantise(value: f64, resolution: f64) -> f64 {
-        if resolution <= 0.0 {
+        // Degenerate resolutions (zero, negative, NaN, ±inf) and non-finite
+        // values pass through unquantised: `value / resolution` would
+        // otherwise manufacture NaN out of a merely misconfigured sensor.
+        if !(resolution > 0.0) || !resolution.is_finite() || !value.is_finite() {
             value
         } else {
             (value / resolution).round() * resolution
@@ -176,6 +205,63 @@ mod tests {
             assert!(reading.domain_power.is_physical());
             assert!(reading.platform_power_w >= 0.0);
         }
+    }
+
+    #[test]
+    fn max_core_temp_propagates_nan_instead_of_swallowing_it() {
+        let mut reading = SensorReadings {
+            core_temps_c: [50.0, f64::NAN, 49.5, 50.5],
+            domain_power: DomainPower::default(),
+            platform_power_w: 0.0,
+        };
+        // The old `f64::max` fold skipped the NaN lane and reported 50.5.
+        assert!(reading.max_core_temp_c().is_nan());
+        assert!(!reading.is_valid());
+        reading.core_temps_c = [50.0, 51.0, 49.5, 50.5];
+        assert_eq!(reading.max_core_temp_c(), 51.0);
+        assert!(reading.is_valid());
+        reading.platform_power_w = f64::INFINITY;
+        assert!(!reading.is_valid());
+    }
+
+    #[test]
+    fn degenerate_quantisation_passes_values_through() {
+        for resolution in [0.0, -0.1, f64::NAN, f64::INFINITY] {
+            let mut sensors = SensorSuite::ideal(5);
+            sensors.temp_resolution_c = resolution;
+            let reading =
+                sensors.sample([50.26, 50.24, 49.99, 50.74], &DomainPower::default(), 0.0);
+            assert_eq!(
+                reading.core_temps_c,
+                [50.26, 50.24, 49.99, 50.74],
+                "resolution {resolution} must pass values through unquantised"
+            );
+            assert!(reading.is_valid());
+        }
+    }
+
+    #[test]
+    fn degenerate_noise_sigma_disables_noise_instead_of_injecting_nan() {
+        for sigma in [f64::NAN, f64::NEG_INFINITY, f64::INFINITY, -1.0] {
+            let mut sensors = SensorSuite::ideal(6);
+            sensors.temp_noise_c = sigma;
+            sensors.power_noise_w = sigma;
+            sensors.meter_noise_w = sigma;
+            let reading = sensors.sample([50.0; 4], &DomainPower::new(2.0, 0.1, 0.3, 0.4), 4.6);
+            assert_eq!(reading.core_temps_c, [50.0; 4], "sigma {sigma}");
+            assert!(reading.is_valid());
+        }
+    }
+
+    #[test]
+    fn non_finite_true_values_survive_quantisation_unmangled() {
+        // A NaN *input* (e.g. an upstream fault) must come out as NaN, not
+        // be laundered into some quantised finite value — and must trip the
+        // validity check.
+        let mut sensors = SensorSuite::odroid_defaults(11);
+        let reading = sensors.sample([f64::NAN, 50.0, 50.0, 50.0], &DomainPower::default(), 0.0);
+        assert!(reading.core_temps_c[0].is_nan());
+        assert!(!reading.is_valid());
     }
 
     #[test]

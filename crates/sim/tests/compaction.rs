@@ -10,8 +10,8 @@
 //! (possibly recycled) lane a scenario happened to land on.
 
 use platform_sim::{
-    Calibration, CalibrationCampaign, Experiment, ExperimentConfig, ExperimentKind, ScenarioSweep,
-    SimulationResult,
+    Calibration, CalibrationCampaign, Experiment, ExperimentConfig, ExperimentKind, FaultKind,
+    FaultPlan, FaultWindow, ScenarioSweep, SensorChannel, SimError, SimulationResult,
 };
 use proptest::prelude::*;
 use workload::BenchmarkId;
@@ -123,6 +123,101 @@ proptest! {
                 result,
                 &format!("threads={threads} lanes={lanes} count={count} slot={i}"),
             );
+        }
+    }
+}
+
+proptest! {
+    /// A faulted lane never perturbs its siblings: whatever fault scenario
+    /// lands on one slot of a multi-lane lockstep sweep — a degraded-and-
+    /// recovered channel, a runaway reading that walks the ladder to early
+    /// shutdown, or a drained lane erroring mid-flight — every other slot's
+    /// trajectory still matches its own solo scalar run to ≤ 1e-9 °C, and
+    /// the faulted slot itself replays its scalar outcome bit-for-bit
+    /// (including its error, for the drained case).
+    #[test]
+    fn faulted_lanes_never_perturb_their_siblings(
+        threads in 1usize..3,
+        lanes in 2usize..5,
+        count in 3usize..8,
+        fault_slot_seed in 0usize..64,
+        scenario in 0usize..3,
+    ) {
+        let fault_slot = fault_slot_seed % count;
+        let mut configs: Vec<ExperimentConfig> = (0..count)
+            .map(|i| ragged_config(i, if i % 3 == 0 { 4.0 } else { 2.0 }))
+            .collect();
+        // The faulted slot is always a DTPM lane (the kind with a policy to
+        // demote or drain); its siblings keep their ragged mix of kinds.
+        configs[fault_slot].kind = ExperimentKind::Dtpm;
+        let (plan, drains) = match scenario {
+            // Dropped channel long enough to demote the policy, then recover.
+            0 => (
+                FaultPlan::new(21).with_window(FaultWindow {
+                    channel: SensorChannel::CoreTemp(0),
+                    kind: FaultKind::Dropped,
+                    start_s: 0.3,
+                    end_s: 1.3,
+                }),
+                false,
+            ),
+            // Runaway (but plausible) reading: ladder shutdown retires the
+            // lane early — the raggedest possible lane.
+            1 => (
+                FaultPlan::new(22).with_window(FaultWindow {
+                    channel: SensorChannel::CoreTemp(1),
+                    kind: FaultKind::OffsetDrift { initial: 80.0, drift_per_s: 0.0 },
+                    start_s: 0.5,
+                    end_s: f64::INFINITY,
+                }),
+                false,
+            ),
+            // Dropped channel with the fallback disabled: the lane drains
+            // with a structured error mid-flight.
+            _ => (
+                FaultPlan::new(23).with_window(FaultWindow {
+                    channel: SensorChannel::CoreTemp(0),
+                    kind: FaultKind::Dropped,
+                    start_s: 0.3,
+                    end_s: f64::INFINITY,
+                }),
+                true,
+            ),
+        };
+        configs[fault_slot].faults = Some(plan);
+        if drains {
+            configs[fault_slot].safety.health.degraded_fallback = false;
+        }
+
+        let results = ScenarioSweep::new(configs.clone())
+            .with_threads(threads)
+            .with_lanes(lanes)
+            .run(calibration());
+        prop_assert_eq!(results.len(), configs.len());
+        let label = format!(
+            "threads={threads} lanes={lanes} count={count} \
+             fault_slot={fault_slot} scenario={scenario}"
+        );
+        for (i, (config, result)) in configs.iter().zip(&results).enumerate() {
+            if i == fault_slot && drains {
+                // The drained lane reports the same structured error its
+                // solo scalar run does.
+                let swept = result.as_ref().expect_err("drained lane must error");
+                prop_assert!(
+                    matches!(swept, SimError::Sensor(_)),
+                    "{} slot {}: expected SimError::Sensor, got {:?}",
+                    &label, i, swept
+                );
+                let solo = Experiment::new(config, calibration())
+                    .expect("scalar experiment builds")
+                    .run()
+                    .expect_err("scalar run of the drained config must error");
+                prop_assert_eq!(swept, &solo);
+                continue;
+            }
+            let result = result.as_ref().expect("non-drained run must succeed");
+            prop_assert_eq!(&result.config, config);
+            assert_matches_scalar(result, &format!("{label} slot={i}"));
         }
     }
 }
