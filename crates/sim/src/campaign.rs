@@ -35,6 +35,7 @@ use serde::{Deserialize, Serialize};
 use workload::BenchmarkId;
 
 use crate::calibrate::Calibration;
+use crate::engine::EnginePrecision;
 use crate::experiment::{sweep_stream, ExperimentConfig, ExperimentKind, ResultSink};
 use crate::faults::FaultPlan;
 use crate::observer::TracePolicy;
@@ -154,6 +155,11 @@ pub struct SweepSpec {
     pub plant: PlantPowerParams,
     /// Use ideal (noise-free) sensors in every cell.
     pub ideal_sensors: bool,
+    /// Plant-engine element precision shared by every cell. The serde
+    /// default ([`EnginePrecision::F64`]) keeps persisted campaign specs and
+    /// their results bit-identical.
+    #[serde(default)]
+    pub precision: EnginePrecision,
 }
 
 impl SweepSpec {
@@ -175,6 +181,7 @@ impl SweepSpec {
             max_duration_s: defaults.max_duration_s,
             plant: defaults.plant,
             ideal_sensors: defaults.ideal_sensors,
+            precision: defaults.precision,
         }
     }
 
@@ -226,6 +233,13 @@ impl SweepSpec {
     #[must_use]
     pub fn with_ideal_sensors(mut self, ideal_sensors: bool) -> Self {
         self.ideal_sensors = ideal_sensors;
+        self
+    }
+
+    /// Sets the plant-engine precision every cell runs at.
+    #[must_use]
+    pub fn with_precision(mut self, precision: EnginePrecision) -> Self {
+        self.precision = precision;
         self
     }
 
@@ -282,6 +296,7 @@ impl SweepSpec {
         config.plant = self.plant;
         config.ideal_sensors = self.ideal_sensors;
         config.faults = self.fault_plans[fault].clone();
+        config.precision = self.precision;
         config
     }
 
@@ -366,9 +381,9 @@ impl CampaignRunner<'_> {
         S: ResultSink + Send + ?Sized,
     {
         let spec = self.spec;
-        // Every cell shares the campaign's control period: one lockstep
-        // group over the whole grid.
-        let groups = [(spec.control_period_s, spec.cells())];
+        // Every cell shares the campaign's control period and precision:
+        // one lockstep group over the whole grid.
+        let groups = [(spec.control_period_s, spec.precision, spec.cells())];
         let provider = |_group: usize, index: usize| -> (usize, ExperimentConfig) {
             (index, spec.cell(index))
         };

@@ -25,7 +25,9 @@ use thermal_model::HorizonMap;
 use workload::{BenchmarkId, Demand, WorkloadState};
 
 use crate::calibrate::Calibration;
-use crate::engine::{LaneInput, PanelEngine, PlantEngine, ScalarEngine};
+use crate::engine::{
+    EnginePrecision, LaneInput, MixedPanelEngine, PanelEngine, PlantEngine, ScalarEngine,
+};
 use crate::faults::{FaultInjector, FaultPlan};
 use crate::metrics::RunSummary;
 use crate::observer::{OnlineRunStats, RunObserver, TracePolicy};
@@ -106,6 +108,13 @@ pub struct ExperimentConfig {
     /// ([`SafetyConfig::disabled`] turns both off).
     #[serde(default)]
     pub safety: SafetyConfig,
+    /// Plant-engine element precision. The default [`EnginePrecision::F64`]
+    /// keeps every existing campaign bit-identical;
+    /// [`EnginePrecision::F32`] runs the mixed-precision panel engine and
+    /// [`EnginePrecision::F32Shadow`] additionally steps an f64 shadow in
+    /// lockstep to record the worst-case divergence.
+    #[serde(default)]
+    pub precision: EnginePrecision,
 }
 
 impl ExperimentConfig {
@@ -124,6 +133,7 @@ impl ExperimentConfig {
             ideal_sensors: false,
             faults: None,
             safety: SafetyConfig::default(),
+            precision: EnginePrecision::default(),
         }
     }
 
@@ -144,6 +154,13 @@ impl ExperimentConfig {
     #[must_use]
     pub fn with_safety(mut self, safety: SafetyConfig) -> Self {
         self.safety = safety;
+        self
+    }
+
+    /// Returns the configuration with the given plant-engine precision.
+    #[must_use]
+    pub fn with_precision(mut self, precision: EnginePrecision) -> Self {
+        self.precision = precision;
         self
     }
 }
@@ -1101,13 +1118,115 @@ fn drive_engine<E, N, P>(
     }
 }
 
+/// The plant engine a run or sweep group steps, selected by
+/// [`ExperimentConfig::precision`]: the scalar/panel f64 paths or the
+/// mixed-precision f32 panel (optionally with its f64 shadow).
+#[derive(Debug)]
+enum AnyEngine {
+    Scalar(Box<ScalarEngine>),
+    Panel(Box<PanelEngine>),
+    // Every engine is boxed so the dispatch enum stays pointer-sized: the
+    // panel engines carry whole scenario panels (the mixed one at both
+    // precisions plus per-lane caches) and dwarf anything unboxed.
+    Mixed(Box<MixedPanelEngine>),
+}
+
+impl AnyEngine {
+    /// Builds the engine `precision` selects for the given lanes; `lanes`
+    /// picks between the scalar and panel f64 forms (the mixed engine is
+    /// panel-native at every width).
+    fn build(
+        spec: SocSpec,
+        params: &[PlantPowerParams],
+        lanes: usize,
+        precision: EnginePrecision,
+    ) -> AnyEngine {
+        match precision {
+            EnginePrecision::F64 if lanes == 1 => {
+                AnyEngine::Scalar(Box::new(ScalarEngine::new(spec, params)))
+            }
+            EnginePrecision::F64 => AnyEngine::Panel(Box::new(PanelEngine::new(spec, params))),
+            EnginePrecision::F32 => AnyEngine::Mixed(Box::new(MixedPanelEngine::new(spec, params))),
+            EnginePrecision::F32Shadow => {
+                AnyEngine::Mixed(Box::new(MixedPanelEngine::with_shadow(spec, params)))
+            }
+        }
+    }
+}
+
+/// `AnyEngine` forwards the whole plant contract to its selected backend, so
+/// the generic executor and sweep bodies stay monomorphised over one type.
+impl PlantEngine for AnyEngine {
+    fn lanes(&self) -> usize {
+        match self {
+            AnyEngine::Scalar(e) => e.lanes(),
+            AnyEngine::Panel(e) => e.lanes(),
+            AnyEngine::Mixed(e) => e.lanes(),
+        }
+    }
+
+    fn node_count(&self) -> usize {
+        match self {
+            AnyEngine::Scalar(e) => e.node_count(),
+            AnyEngine::Panel(e) => e.node_count(),
+            AnyEngine::Mixed(e) => e.node_count(),
+        }
+    }
+
+    fn admit(&mut self, lane: usize, params: PlantPowerParams) {
+        match self {
+            AnyEngine::Scalar(e) => e.admit(lane, params),
+            AnyEngine::Panel(e) => e.admit(lane, params),
+            AnyEngine::Mixed(e) => e.admit(lane, params),
+        }
+    }
+
+    fn step_interval(
+        &mut self,
+        inputs: &[LaneInput<'_>],
+        interval_s: f64,
+        steps: &mut Vec<Result<PlantStep, SimError>>,
+    ) -> Result<(), SimError> {
+        match self {
+            AnyEngine::Scalar(e) => e.step_interval(inputs, interval_s, steps),
+            AnyEngine::Panel(e) => e.step_interval(inputs, interval_s, steps),
+            AnyEngine::Mixed(e) => e.step_interval(inputs, interval_s, steps),
+        }
+    }
+
+    fn core_temps_c(&self, lane: usize) -> [f64; 4] {
+        match self {
+            AnyEngine::Scalar(e) => e.core_temps_c(lane),
+            AnyEngine::Panel(e) => e.core_temps_c(lane),
+            AnyEngine::Mixed(e) => e.core_temps_c(lane),
+        }
+    }
+
+    fn node_temps_into(&self, lane: usize, out: &mut [f64]) {
+        match self {
+            AnyEngine::Scalar(e) => e.node_temps_into(lane, out),
+            AnyEngine::Panel(e) => e.node_temps_into(lane, out),
+            AnyEngine::Mixed(e) => e.node_temps_into(lane, out),
+        }
+    }
+
+    fn energy_j(&self, lane: usize) -> f64 {
+        match self {
+            AnyEngine::Scalar(e) => e.energy_j(lane),
+            AnyEngine::Panel(e) => e.energy_j(lane),
+            AnyEngine::Mixed(e) => e.energy_j(lane),
+        }
+    }
+}
+
 /// The closed-loop simulation of one benchmark run: a control loop wired
-/// to a single-lane [`ScalarEngine`] and driven by the same generic executor
-/// as the batched and sweeping paths.
+/// to a single-lane engine (scalar f64 by default, the mixed-precision
+/// panel under [`EnginePrecision::F32`]) and driven by the same generic
+/// executor as the batched and sweeping paths.
 #[derive(Debug)]
 pub struct Experiment {
     control: ControlLoop,
-    engine: ScalarEngine,
+    engine: AnyEngine,
 }
 
 impl Experiment {
@@ -1121,7 +1240,7 @@ impl Experiment {
     /// Returns [`SimError::InvalidConfig`] for non-physical timing parameters.
     pub fn new(config: &ExperimentConfig, calibration: &Calibration) -> Result<Self, SimError> {
         let control = ControlLoop::new(config, calibration, TracePolicy::Full)?;
-        let engine = ScalarEngine::new(control.spec.clone(), &[config.plant]);
+        let engine = AnyEngine::build(control.spec.clone(), &[config.plant], 1, config.precision);
         Ok(Experiment { control, engine })
     }
 
@@ -1347,23 +1466,30 @@ impl ScenarioSweep {
         if self.configs.is_empty() {
             return;
         }
-        // Lockstep needs a shared control period: partition the scenario
-        // indices into per-period groups (almost always exactly one). One
+        // Lockstep needs a shared control period and one engine per group
+        // needs a shared precision: partition the scenario indices into
+        // per-(period, precision) groups (almost always exactly one). One
         // worker pool sweeps the groups in order, draining each group's
         // shared queue before flowing into the next, so a sweep over many
         // distinct periods still keeps the whole pool busy — workers that
         // find a group's queue already drained skip ahead immediately.
-        let mut groups: Vec<(u64, Vec<usize>)> = Vec::new();
+        let mut groups: Vec<((u64, EnginePrecision), Vec<usize>)> = Vec::new();
         for (index, config) in self.configs.iter().enumerate() {
-            let bits = config.control_period_s.to_bits();
+            let bits = (config.control_period_s.to_bits(), config.precision);
             match groups.iter_mut().find(|(key, _)| *key == bits) {
                 Some((_, group)) => group.push(index),
                 None => groups.push((bits, vec![index])),
             }
         }
-        let group_meta: Vec<(f64, usize)> = groups
+        let group_meta: Vec<(f64, EnginePrecision, usize)> = groups
             .iter()
-            .map(|(_, group)| (self.configs[group[0]].control_period_s, group.len()))
+            .map(|((_, precision), group)| {
+                (
+                    self.configs[group[0]].control_period_s,
+                    *precision,
+                    group.len(),
+                )
+            })
             .collect();
         let provider = |group: usize, k: usize| -> (usize, ExperimentConfig) {
             let slot = groups[group].1[k];
@@ -1433,8 +1559,9 @@ impl ResultSink for CollectSink {
 }
 
 /// The shared streaming sweep body: `threads` workers sweep the
-/// shared-period `groups` (each a `(control period, scenario count)` pair)
-/// in order, pulling within-group indices from one atomic cursor per group
+/// shared-period `groups` (each a `(control period, engine precision,
+/// scenario count)` triple) in order, pulling within-group indices from one
+/// atomic cursor per group
 /// and materialising each scenario through `provider(group, k)` lazily —
 /// nothing about a scenario exists before a worker claims it. Scenarios are
 /// driven through lane-compacting engines of `lanes` lanes and every report
@@ -1447,7 +1574,7 @@ impl ResultSink for CollectSink {
 pub(crate) fn sweep_stream<F, S>(
     threads: usize,
     lanes: usize,
-    groups: &[(f64, usize)],
+    groups: &[(f64, EnginePrecision, usize)],
     recording: TracePolicy,
     provider: &F,
     calibration: &Calibration,
@@ -1456,7 +1583,7 @@ pub(crate) fn sweep_stream<F, S>(
     F: Fn(usize, usize) -> (usize, ExperimentConfig) + Sync,
     S: ResultSink + Send + ?Sized,
 {
-    let total: usize = groups.iter().map(|(_, count)| count).sum();
+    let total: usize = groups.iter().map(|(_, _, count)| count).sum();
     if total == 0 {
         return;
     }
@@ -1465,7 +1592,9 @@ pub(crate) fn sweep_stream<F, S>(
         .map(|_| std::sync::atomic::AtomicUsize::new(0))
         .collect();
     let worker = || {
-        for (group, (&(period_s, count), cursor)) in groups.iter().zip(&cursors).enumerate() {
+        for (group, (&(period_s, precision, count), cursor)) in
+            groups.iter().zip(&cursors).enumerate()
+        {
             // Pulls the next admissible scenario off the group's shared
             // queue, publishing construction failures in place.
             let mut next = || loop {
@@ -1511,25 +1640,14 @@ pub(crate) fn sweep_stream<F, S>(
                 .into_iter()
                 .map(|(slot, control)| LaneSlot::holding(slot, control))
                 .collect();
-            if lanes == 1 {
-                let mut engine = ScalarEngine::new(spec, &params);
-                drive_engine(
-                    &mut engine,
-                    period_s,
-                    &mut lane_slots,
-                    &mut next,
-                    &mut publish,
-                );
-            } else {
-                let mut engine = PanelEngine::new(spec, &params);
-                drive_engine(
-                    &mut engine,
-                    period_s,
-                    &mut lane_slots,
-                    &mut next,
-                    &mut publish,
-                );
-            }
+            let mut engine = AnyEngine::build(spec, &params, lanes, precision);
+            drive_engine(
+                &mut engine,
+                period_s,
+                &mut lane_slots,
+                &mut next,
+                &mut publish,
+            );
         }
     };
     let pool = threads.min(total).max(1);
@@ -1563,8 +1681,9 @@ fn run_one(
 /// batch. Scenarios finishing early stay in the batch as frozen lanes until
 /// the slowest lane completes (a [`ScenarioSweep`] avoids that tail by
 /// refilling freed lanes from its scenario queue). All configurations must
-/// share one `control_period_s`; mixed periods cannot step in lockstep and
-/// fall back to scalar per-scenario runs.
+/// share one `control_period_s` and one engine precision; mixed periods or
+/// precisions cannot step on one engine and fall back to scalar per-scenario
+/// runs.
 pub fn run_lockstep(
     configs: &[ExperimentConfig],
     calibration: &Calibration,
@@ -1573,9 +1692,10 @@ pub fn run_lockstep(
         return Vec::new();
     }
     let period_s = configs[0].control_period_s;
+    let precision = configs[0].precision;
     if configs
         .iter()
-        .any(|config| config.control_period_s != period_s)
+        .any(|config| config.control_period_s != period_s || config.precision != precision)
     {
         return configs
             .iter()
@@ -1598,7 +1718,20 @@ pub fn run_lockstep(
     }
 
     if !lanes.is_empty() {
-        let mut engine = PanelEngine::new(SocSpec::odroid_xu_e(), &lane_params);
+        // The f64 path keeps the panel engine even for one lane (bit-identical
+        // to the scalar engine there); precision selects the mixed backend.
+        let mut engine = match precision {
+            EnginePrecision::F64 => AnyEngine::Panel(Box::new(PanelEngine::new(
+                SocSpec::odroid_xu_e(),
+                &lane_params,
+            ))),
+            _ => AnyEngine::build(
+                SocSpec::odroid_xu_e(),
+                &lane_params,
+                lane_params.len(),
+                precision,
+            ),
+        };
         drive_engine(
             &mut engine,
             period_s,

@@ -249,6 +249,7 @@ pub mod error;
 pub mod experiment;
 pub mod faults;
 pub mod metrics;
+pub mod mixed;
 pub mod naive;
 pub mod observer;
 pub mod plant;
@@ -259,7 +260,9 @@ pub mod trace;
 pub use batch::BatchPlant;
 pub use calibrate::{Calibration, CalibrationCampaign};
 pub use campaign::{splitmix64, CampaignRunner, DtpmVariant, SweepSpec};
-pub use engine::{LaneInput, PanelEngine, PlantEngine, ScalarEngine};
+pub use engine::{
+    EnginePrecision, LaneInput, MixedPanelEngine, PanelEngine, PlantEngine, ScalarEngine,
+};
 pub use error::SimError;
 pub use experiment::{
     run_lockstep, CollectSink, Experiment, ExperimentConfig, ExperimentKind, ResultSink, RunReport,
@@ -267,6 +270,7 @@ pub use experiment::{
 };
 pub use faults::{FaultInjector, FaultKind, FaultPlan, FaultWindow, SensorChannel};
 pub use metrics::{BenchmarkComparison, RunSummary, StabilityReport};
+pub use mixed::MixedBatchPlant;
 pub use naive::NaivePhysicalPlant;
 pub use observer::{DecimatedTrace, OnlineRunStats, RunObserver, TracePolicy};
 pub use plant::{PhysicalPlant, PlantPowerParams};

@@ -97,7 +97,7 @@ pub mod state_space;
 
 pub use error::ThermalError;
 pub use network::{
-    BatchStepTransition, ExynosThermalNetwork, FanBoost, NodeId, RkScratch, StepTransition,
-    ThermalNetwork, ThermalNetworkBuilder,
+    BatchStepTransition, BatchStepTransitionF32, ExynosThermalNetwork, FanBoost, NodeId, RkScratch,
+    StepTransition, ThermalNetwork, ThermalNetworkBuilder,
 };
 pub use state_space::{DiscreteThermalModel, HorizonMap};
