@@ -153,6 +153,97 @@ impl Welford {
         self.max
     }
 
+    /// Sum of squared deviations from the running mean (the raw `M2` term of
+    /// Welford's recurrence; population variance is `m2 / count`). Exposed so
+    /// checkpoint/merge wire formats can persist an accumulator exactly —
+    /// pair with [`Welford::from_parts`] to reconstruct it.
+    pub fn m2(&self) -> f64 {
+        self.m2
+    }
+
+    /// Reassembles an accumulator from its raw state, the inverse of reading
+    /// `count`/`mean`/[`Welford::m2`]/`min`/`max` — the bit-exact
+    /// round-trip used by campaign checkpoint files. The parts are trusted:
+    /// feeding back anything other than a previously observed state produces
+    /// an accumulator that never arose from pushes.
+    pub fn from_parts(count: usize, mean: f64, m2: f64, min: f64, max: f64) -> Welford {
+        Welford {
+            count,
+            mean,
+            m2,
+            min,
+            max,
+        }
+    }
+
+    /// Merges two accumulators into the statistics of their combined sample
+    /// streams (Chan et al.'s parallel combination of mean and `M2`, plus
+    /// plain min/max folds), the building block for sharded campaigns.
+    ///
+    /// The combination formula is not floating-point symmetric in its
+    /// operands, so `merge` first orders the pair by a fixed total order
+    /// over their raw state (count, then the bit patterns of mean/m2/
+    /// min/max) and always applies the formula to the ordered pair. That
+    /// makes the operation **exactly commutative** — `a.merge(&b)` is
+    /// bit-identical to `b.merge(&a)` — which is what lets shard aggregates
+    /// be independent of arrival order. Associativity holds only up to
+    /// floating-point rounding; order-sensitive pipelines should fold in a
+    /// canonical sequence (as the campaign merge sink does).
+    ///
+    /// Count, min and max combine exactly; the merged mean agrees with a
+    /// sequential feed of both streams to within rounding and the merged
+    /// variance to within numerical noise.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use numeric::stats::Welford;
+    ///
+    /// let mut left = Welford::new();
+    /// let mut right = Welford::new();
+    /// for x in [1.0, 2.0] {
+    ///     left.push(x);
+    /// }
+    /// for x in [3.0, 4.0] {
+    ///     right.push(x);
+    /// }
+    /// let merged = left.merge(&right);
+    /// assert_eq!(merged.count(), 4);
+    /// assert_eq!(merged.mean(), 2.5);
+    /// assert_eq!(merged, right.merge(&left));
+    /// ```
+    pub fn merge(&self, other: &Welford) -> Welford {
+        // The fp-stable ordering rule: a total order over the raw state so
+        // both argument orders apply the formula to the same (a, b) pair.
+        let key = |w: &Welford| {
+            (
+                w.count,
+                w.mean.to_bits(),
+                w.m2.to_bits(),
+                w.min.to_bits(),
+                w.max.to_bits(),
+            )
+        };
+        let (a, b) = if key(self) <= key(other) {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        if a.count == 0 {
+            return *b;
+        }
+        let count = a.count + b.count;
+        let (na, nb, n) = (a.count as f64, b.count as f64, count as f64);
+        let delta = b.mean - a.mean;
+        Welford {
+            count,
+            mean: a.mean + delta * (nb / n),
+            m2: a.m2 + b.m2 + delta * delta * na * (nb / n),
+            min: a.min.min(b.min),
+            max: a.max.max(b.max),
+        }
+    }
+
     /// The accumulated statistics as a [`Summary`].
     ///
     /// # Panics
@@ -433,6 +524,79 @@ mod tests {
     #[should_panic(expected = "empty")]
     fn welford_summary_of_empty_panics() {
         Welford::new().summary();
+    }
+
+    #[test]
+    fn welford_merge_matches_sequential_feed() {
+        let samples: Vec<f64> = (0..500)
+            .map(|k| 40.0 + (k as f64 * 0.37).sin() * 15.0)
+            .collect();
+        for split in [0, 1, 17, 250, 499, 500] {
+            let mut all = Welford::new();
+            let mut left = Welford::new();
+            let mut right = Welford::new();
+            for (k, &x) in samples.iter().enumerate() {
+                all.push(x);
+                if k < split {
+                    left.push(x);
+                } else {
+                    right.push(x);
+                }
+            }
+            let merged = left.merge(&right);
+            assert_eq!(merged.count(), all.count(), "split {split}");
+            assert_eq!(merged.min(), all.min(), "split {split}: min is exact");
+            assert_eq!(merged.max(), all.max(), "split {split}: max is exact");
+            assert!(
+                (merged.mean() - all.mean()).abs() <= 1e-12 * all.mean().abs().max(1.0),
+                "split {split}: mean {} vs {}",
+                merged.mean(),
+                all.mean()
+            );
+            assert!(
+                (merged.variance() - all.variance()).abs() <= 1e-9 * all.variance().abs().max(1.0),
+                "split {split}: variance {} vs {}",
+                merged.variance(),
+                all.variance()
+            );
+        }
+    }
+
+    #[test]
+    fn welford_merge_is_exactly_commutative_and_empty_is_identity() {
+        let mut a = Welford::new();
+        let mut b = Welford::new();
+        for x in [3.0, -1.5, 62.25, 0.125] {
+            a.push(x);
+        }
+        for x in [41.0, 40.5, 58.0] {
+            b.push(x);
+        }
+        assert_eq!(a.merge(&b), b.merge(&a), "bit-identical either way round");
+        assert_eq!(a.merge(&Welford::new()), a, "empty right identity");
+        assert_eq!(Welford::new().merge(&a), a, "empty left identity");
+        assert_eq!(Welford::new().merge(&Welford::new()), Welford::new());
+    }
+
+    #[test]
+    fn welford_parts_round_trip() {
+        let mut w = Welford::new();
+        for x in [55.0, 57.5, 56.25, 58.0] {
+            w.push(x);
+        }
+        let back = Welford::from_parts(w.count(), w.mean(), w.m2(), w.min(), w.max());
+        assert_eq!(back, w, "raw-state round trip is bit-exact");
+        // An empty accumulator (±∞ sentinels) round-trips too — the case
+        // JSON-style serialisation would mangle.
+        let empty = Welford::new();
+        let back = Welford::from_parts(
+            empty.count(),
+            empty.mean(),
+            empty.m2(),
+            empty.min(),
+            empty.max(),
+        );
+        assert_eq!(back, empty);
     }
 
     #[test]

@@ -36,10 +36,12 @@ use workload::BenchmarkId;
 
 use crate::calibrate::Calibration;
 use crate::engine::EnginePrecision;
+use crate::error::SimError;
 use crate::experiment::{sweep_stream, ExperimentConfig, ExperimentKind, ResultSink};
 use crate::faults::FaultPlan;
 use crate::observer::TracePolicy;
 use crate::plant::PlantPowerParams;
+use crate::resilience::{CampaignCheckpoint, ResiliencePolicy};
 
 fn default_fault_axis() -> Vec<Option<FaultPlan>> {
     vec![None]
@@ -305,6 +307,25 @@ impl SweepSpec {
         (0..self.cells()).map(|index| self.cell(index))
     }
 
+    /// A stable 64-bit fingerprint of the grid: every axis, seed and shared
+    /// scalar folds into it, so two specs fingerprint equal exactly when
+    /// they would materialise the same cells. Campaign checkpoints are bound
+    /// to this value ([`CampaignCheckpoint::fingerprint`]) so a checkpoint
+    /// cannot silently resume a different campaign.
+    pub fn fingerprint(&self) -> u64 {
+        // FNV-1a over the spec's canonical debug rendering (which includes
+        // the shortest round-trip form of every float), finalised through
+        // SplitMix64. The rendering is stable for a given spec value, which
+        // is all resume verification needs.
+        let rendered = format!("{self:?}");
+        let mut hash: u64 = 0xCBF2_9CE4_8422_2325;
+        for byte in rendered.bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        splitmix64(hash)
+    }
+
     /// A runner for this campaign (streaming, summaries-only by default).
     pub fn runner(&self) -> CampaignRunner<'_> {
         let parallelism = std::thread::available_parallelism()
@@ -315,6 +336,7 @@ impl SweepSpec {
             threads: parallelism.min(self.cells()).max(1),
             lanes: 1,
             recording: TracePolicy::SummaryOnly,
+            resilience: ResiliencePolicy::default(),
         }
     }
 }
@@ -331,6 +353,7 @@ pub struct CampaignRunner<'a> {
     threads: usize,
     lanes: usize,
     recording: TracePolicy,
+    resilience: ResiliencePolicy,
 }
 
 impl CampaignRunner<'_> {
@@ -372,6 +395,20 @@ impl CampaignRunner<'_> {
         self.recording
     }
 
+    /// Sets the containment policy: retry budget for panicking/overrunning
+    /// cells and the cooperative per-cell interval deadline (default: no
+    /// retries, no deadline — panic containment itself is always on).
+    #[must_use]
+    pub fn with_resilience(mut self, resilience: ResiliencePolicy) -> Self {
+        self.resilience = resilience;
+        self
+    }
+
+    /// The containment policy the runner will apply.
+    pub fn resilience(&self) -> ResiliencePolicy {
+        self.resilience
+    }
+
     /// Runs every cell of the grid, pushing each cell's report into `sink`
     /// (tagged with the cell's linear index) as its lane retires. Cells are
     /// materialised lazily when claimed; individual cell failures do not
@@ -395,8 +432,77 @@ impl CampaignRunner<'_> {
             self.recording,
             &provider,
             calibration,
+            &self.resilience,
             &sink,
         );
+    }
+
+    /// Runs an arbitrary subset of the grid — `indices` are global cell
+    /// indices — pushing each report into `sink` tagged with its *global*
+    /// index, so sinks see the same addressing as a whole-grid run. The
+    /// subset primitive behind shard execution and checkpoint resume.
+    ///
+    /// # Panics
+    ///
+    /// Panics (when the cell is claimed) if an index is out of range.
+    pub fn run_indices_into<S>(&self, indices: &[usize], calibration: &Calibration, sink: &mut S)
+    where
+        S: ResultSink + Send + ?Sized,
+    {
+        let spec = self.spec;
+        let groups = [(spec.control_period_s, spec.precision, indices.len())];
+        let provider = |_group: usize, k: usize| -> (usize, ExperimentConfig) {
+            let index = indices[k];
+            (index, spec.cell(index))
+        };
+        let sink = std::sync::Mutex::new(sink);
+        sweep_stream(
+            self.threads.min(indices.len()).max(1),
+            self.lanes,
+            &groups,
+            self.recording,
+            &provider,
+            calibration,
+            &self.resilience,
+            &sink,
+        );
+    }
+
+    /// Resumes an interrupted campaign from a checkpoint: verifies the
+    /// checkpoint belongs to this grid (fingerprint and cell count), then
+    /// runs exactly the cells without a recorded outcome. Stream the results
+    /// into a [`crate::resilience::CheckpointSink`] restored from the same
+    /// checkpoint and the final merged aggregate is bit-identical to an
+    /// uninterrupted run, wherever the interruption landed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] if the checkpoint's fingerprint
+    /// or cell count disagrees with this campaign's grid.
+    pub fn resume_from<S>(
+        &self,
+        checkpoint: &CampaignCheckpoint,
+        calibration: &Calibration,
+        sink: &mut S,
+    ) -> Result<(), SimError>
+    where
+        S: ResultSink + Send + ?Sized,
+    {
+        if checkpoint.fingerprint() != self.spec.fingerprint() {
+            return Err(SimError::InvalidConfig(
+                "checkpoint fingerprint does not match this campaign's grid",
+            ));
+        }
+        if checkpoint.cells() != self.spec.cells() {
+            return Err(SimError::InvalidConfig(
+                "checkpoint cell count does not match this campaign's grid",
+            ));
+        }
+        let remaining = checkpoint.remaining();
+        if !remaining.is_empty() {
+            self.run_indices_into(&remaining, calibration, sink);
+        }
+        Ok(())
     }
 }
 
@@ -531,6 +637,16 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn fingerprints_identify_the_grid() {
+        let base = spec().fingerprint();
+        assert_eq!(base, spec().fingerprint(), "stable across clones");
+        assert_ne!(base, spec().with_campaign_seed(2).fingerprint());
+        assert_ne!(base, spec().with_replicates(4).fingerprint());
+        assert_ne!(base, spec().with_max_duration_s(9.5).fingerprint());
+        assert_ne!(base, spec().with_ambients_c(vec![24.0]).fingerprint());
     }
 
     #[test]

@@ -26,6 +26,22 @@ pub enum SimError {
     Sensor(String),
     /// Writing an output file (CSV trace) failed.
     Io(String),
+    /// A sensor [`crate::faults::FaultPlan`] failed validation (non-finite
+    /// offset/magnitude, inverted or zero-length window, out-of-range
+    /// channel), rejected at construction instead of producing silent
+    /// nonsense mid-campaign.
+    FaultPlan(String),
+    /// The cell's control loop panicked and the panic was contained by the
+    /// sweep executor: the cell is quarantined with this structured failure
+    /// while sibling lanes keep running.
+    Panicked(String),
+    /// The cell exceeded its cooperative per-cell deadline (an interval-count
+    /// watchdog in the executor) and was cancelled cleanly instead of
+    /// hanging its worker.
+    Deadline {
+        /// The interval budget the cell exceeded.
+        intervals: usize,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -39,6 +55,12 @@ impl fmt::Display for SimError {
             SimError::Dtpm(msg) => write!(f, "DTPM policy error: {msg}"),
             SimError::Sensor(msg) => write!(f, "sensor chain error: {msg}"),
             SimError::Io(msg) => write!(f, "i/o error: {msg}"),
+            SimError::FaultPlan(msg) => write!(f, "invalid fault plan: {msg}"),
+            SimError::Panicked(msg) => write!(f, "cell panicked (contained): {msg}"),
+            SimError::Deadline { intervals } => write!(
+                f,
+                "cell exceeded its deadline of {intervals} control intervals"
+            ),
         }
     }
 }

@@ -11,6 +11,7 @@
 //! * **Proposed DTPM** — fan removed; the predictive DTPM algorithm using the
 //!   identified thermal model and the run-time power model.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 
 use dtpm::{BatchPredictor, DtpmConfig, DtpmInputs, DtpmPolicy};
@@ -32,6 +33,7 @@ use crate::faults::{FaultInjector, FaultPlan};
 use crate::metrics::RunSummary;
 use crate::observer::{OnlineRunStats, RunObserver, TracePolicy};
 use crate::plant::{PlantPowerParams, PlantStep};
+use crate::resilience::{ChaosPlan, ResiliencePolicy};
 use crate::safety::{IncidentLog, SafetyConfig, SafetyLadder, SensorHealth};
 use crate::sensors::{SensorReadings, SensorSuite};
 use crate::trace::{Trace, TraceRecord};
@@ -115,6 +117,11 @@ pub struct ExperimentConfig {
     /// lockstep to record the worst-case divergence.
     #[serde(default)]
     pub precision: EnginePrecision,
+    /// Deterministic executor-fault injection for containment testing
+    /// (`None`: no injected faults, zero per-interval work). See
+    /// [`ChaosPlan`].
+    #[serde(default)]
+    pub chaos: Option<ChaosPlan>,
 }
 
 impl ExperimentConfig {
@@ -134,6 +141,7 @@ impl ExperimentConfig {
             faults: None,
             safety: SafetyConfig::default(),
             precision: EnginePrecision::default(),
+            chaos: None,
         }
     }
 
@@ -161,6 +169,14 @@ impl ExperimentConfig {
     #[must_use]
     pub fn with_precision(mut self, precision: EnginePrecision) -> Self {
         self.precision = precision;
+        self
+    }
+
+    /// Returns the configuration with the given executor-fault injection
+    /// plan (containment testing only; see [`ChaosPlan`]).
+    #[must_use]
+    pub fn with_chaos(mut self, chaos: ChaosPlan) -> Self {
+        self.chaos = Some(chaos);
         self
     }
 }
@@ -332,6 +348,14 @@ impl ControlLoop {
                 "maximum duration must exceed the control period",
             ));
         }
+        // The fault-plan gate: every run path (scalar experiments, lockstep
+        // batches, sweeps and campaigns) builds its control loops here, so a
+        // malformed sensor-fault scenario is rejected with a descriptive
+        // error before anything executes instead of producing silent
+        // nonsense mid-campaign.
+        if let Some(plan) = &config.faults {
+            plan.validate()?;
+        }
         let spec = SocSpec::odroid_xu_e().with_ambient_c(config.ambient_c);
         let mut sensors = if config.ideal_sensors {
             SensorSuite::ideal(config.seed)
@@ -489,6 +513,11 @@ impl ControlLoop {
     /// boundary unscreened, or when the chain is unreliable and the degraded
     /// fallback is disabled.
     fn stage(&mut self) -> Result<Staged, SimError> {
+        // Executor-fault injection for containment testing: fires (panics)
+        // only when the run's config carries an armed chaos plan.
+        if let Some(chaos) = &self.config.chaos {
+            chaos.maybe_panic(self.steps_taken);
+        }
         // The control-loop boundary check: with the health monitor armed
         // this never trips (screening substituted already); with it off, a
         // non-finite reading drains the lane with a structured error instead
@@ -899,6 +928,19 @@ fn frozen_inputs(control: &ControlLoop) -> (PlatformState, Demand, FanLevel, f64
     )
 }
 
+/// Renders a contained panic payload as a structured
+/// [`SimError::Panicked`], preserving the panic message when it is a string
+/// (the overwhelmingly common case: `panic!`, `assert!`, index/overflow
+/// panics all carry one).
+fn panic_error(payload: &(dyn std::any::Any + Send)) -> SimError {
+    let message = payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".to_string());
+    SimError::Panicked(message)
+}
+
 /// One lane's engine inputs for the current interval: the decided inputs
 /// while a scenario is in flight, the frozen retire snapshot while it idles.
 fn lane_input(lane: &LaneSlot) -> LaneInput<'_> {
@@ -951,10 +993,22 @@ fn lane_input(lane: &LaneSlot) -> LaneInput<'_> {
 /// error (malformed call, lost device) is unattributable to one lane and is
 /// reported on every unfinished lane *and* every scenario remaining in the
 /// queue, so no result slot is ever left unfilled.
+///
+/// **Cell-level fault containment.** Every per-lane control-loop call
+/// (stage, classify-complete, decide, absorb, finish) runs under
+/// `catch_unwind`: a panicking cell retires with a structured
+/// [`SimError::Panicked`] — its partially-mutated control loop is discarded
+/// whole — while sibling lanes continue untouched (lanes are strictly
+/// isolated, so a quarantined lane's idle replay cannot perturb survivors).
+/// `policy` additionally arms the cooperative per-cell deadline: a cell
+/// still running after `deadline_intervals` absorbed intervals is cancelled
+/// at the next interval boundary with [`SimError::Deadline`] instead of
+/// hanging its worker.
 fn drive_engine<E, N, P>(
     engine: &mut E,
     period_s: f64,
     lanes: &mut [LaneSlot],
+    policy: &ResiliencePolicy,
     next: &mut N,
     publish: &mut P,
 ) where
@@ -982,11 +1036,29 @@ fn drive_engine<E, N, P>(
                                 <= 1e-9 * control.energy_j.abs().max(1.0),
                             "engine and control-loop energy bookkeeping diverged"
                         );
-                        publish(lane.slot, Ok(control.finish()));
+                        let report = catch_unwind(AssertUnwindSafe(move || control.finish()))
+                            .map_err(|payload| panic_error(payload.as_ref()));
+                        publish(lane.slot, report);
+                        // Fall through to the admission arm.
+                    }
+                    Some(control) if policy.exceeds_deadline(control.steps_taken) => {
+                        // The cooperative watchdog: the cell overran its
+                        // interval budget — cancel it cleanly at this
+                        // interval boundary instead of hanging the worker.
+                        lane.frozen = frozen_inputs(control);
+                        publish(
+                            lane.slot,
+                            Err(SimError::Deadline {
+                                intervals: control.steps_taken,
+                            }),
+                        );
+                        lane.control = None;
                         // Fall through to the admission arm.
                     }
                     Some(control) => {
-                        match control.stage() {
+                        let staged = catch_unwind(AssertUnwindSafe(|| control.stage()))
+                            .unwrap_or_else(|payload| Err(panic_error(payload.as_ref())));
+                        match staged {
                             Ok(staged) => lane.staged = Some(staged),
                             Err(e) => {
                                 lane.frozen = frozen_inputs(control);
@@ -1032,7 +1104,9 @@ fn drive_engine<E, N, P>(
                 continue;
             };
             let control = lane.control.as_mut().expect("staged lanes hold a control");
-            match control.complete(staged) {
+            let completed = catch_unwind(AssertUnwindSafe(|| control.complete(staged)))
+                .unwrap_or_else(|payload| Err(panic_error(payload.as_ref())));
+            match completed {
                 Ok(decision) => {
                     lane.decision = Some(decision);
                     any_active = true;
@@ -1050,7 +1124,9 @@ fn drive_engine<E, N, P>(
                 engine.admit(index, control.config.plant);
                 lane.slot = slot;
                 let control = lane.control.insert(control);
-                match control.decide() {
+                let decided = catch_unwind(AssertUnwindSafe(|| control.decide()))
+                    .unwrap_or_else(|payload| Err(panic_error(payload.as_ref())));
+                match decided {
                     Ok(decision) => {
                         lane.decision = Some(decision);
                         any_active = true;
@@ -1107,7 +1183,15 @@ fn drive_engine<E, N, P>(
                 continue;
             };
             match step {
-                Ok(step) => control.absorb(&decision, &step),
+                Ok(step) => {
+                    if let Err(payload) =
+                        catch_unwind(AssertUnwindSafe(|| control.absorb(&decision, &step)))
+                    {
+                        lane.frozen = frozen_inputs(control);
+                        publish(lane.slot, Err(panic_error(payload.as_ref())));
+                        lane.control = None;
+                    }
+                }
                 Err(e) => {
                     lane.frozen = frozen_inputs(control);
                     publish(lane.slot, Err(e));
@@ -1287,6 +1371,7 @@ impl Experiment {
             &mut engine,
             period_s,
             &mut lanes,
+            &ResiliencePolicy::default(),
             &mut || None,
             &mut |_, result| out = Some(result),
         );
@@ -1340,6 +1425,7 @@ pub struct ScenarioSweep {
     threads: usize,
     lanes: usize,
     recording: TracePolicy,
+    resilience: ResiliencePolicy,
 }
 
 impl ScenarioSweep {
@@ -1355,6 +1441,7 @@ impl ScenarioSweep {
             configs,
             lanes: 1,
             recording: TracePolicy::Full,
+            resilience: ResiliencePolicy::default(),
         }
     }
 
@@ -1403,6 +1490,20 @@ impl ScenarioSweep {
     /// The per-run trace-retention policy [`ScenarioSweep::run_into`] uses.
     pub fn recording(&self) -> TracePolicy {
         self.recording
+    }
+
+    /// Sets the containment policy: retry budget for panicking/overrunning
+    /// scenarios and the cooperative per-cell interval deadline (default:
+    /// no retries, no deadline — panic containment itself is always on).
+    #[must_use]
+    pub fn with_resilience(mut self, resilience: ResiliencePolicy) -> Self {
+        self.resilience = resilience;
+        self
+    }
+
+    /// The containment policy the sweep will apply.
+    pub fn resilience(&self) -> ResiliencePolicy {
+        self.resilience
     }
 
     /// Runs every configuration and returns one result per configuration, in
@@ -1503,6 +1604,7 @@ impl ScenarioSweep {
             recording,
             &provider,
             calibration,
+            &self.resilience,
             &sink,
         );
     }
@@ -1558,6 +1660,13 @@ impl ResultSink for CollectSink {
     }
 }
 
+/// The null sink: discards every delivery. Useful as the inner sink of a
+/// wrapper that does all the aggregation itself (e.g. a
+/// [`crate::CheckpointSink`] whose checkpoint fold is the result).
+impl ResultSink for () {
+    fn accept(&mut self, _index: usize, _outcome: Result<RunReport, SimError>) {}
+}
+
 /// The shared streaming sweep body: `threads` workers sweep the
 /// shared-period `groups` (each a `(control period, engine precision,
 /// scenario count)` triple) in order, pulling within-group indices from one
@@ -1571,6 +1680,19 @@ impl ResultSink for CollectSink {
 /// Both [`ScenarioSweep`] (providers indexed into its config list) and the
 /// campaign runner (a single group over the grid-cell expansion) are
 /// instantiations.
+///
+/// The sink is delivered to behind poison-recovering locking with the
+/// `accept` call itself under `catch_unwind`: a sink that panics on one
+/// result neither poisons the mutex (deadlocking or aborting sibling
+/// workers) nor unwinds a worker — the failed delivery is reported to
+/// stderr and the sweep carries on. `policy` arms the executor's per-cell
+/// containment (see [`drive_engine`]) and, with a non-zero retry budget,
+/// bounded deterministic retry: a cell that failed retryably
+/// ([`ResiliencePolicy::is_retryable`]) is re-admitted from scratch — its
+/// configuration re-derived identically, no RNG state involved — up to
+/// `max_retries` times before its final error is delivered (poison-cell
+/// quarantine).
+#[allow(clippy::too_many_arguments)] // one call-site-shared body, not an API
 pub(crate) fn sweep_stream<F, S>(
     threads: usize,
     lanes: usize,
@@ -1578,11 +1700,21 @@ pub(crate) fn sweep_stream<F, S>(
     recording: TracePolicy,
     provider: &F,
     calibration: &Calibration,
+    policy: &ResiliencePolicy,
     sink: &std::sync::Mutex<&mut S>,
 ) where
     F: Fn(usize, usize) -> (usize, ExperimentConfig) + Sync,
     S: ResultSink + Send + ?Sized,
 {
+    /// A retryably-failed scenario awaiting re-admission: its result slot,
+    /// the configuration to re-derive it from, and which attempt the next
+    /// execution will be.
+    struct RetryEntry {
+        slot: usize,
+        config: ExperimentConfig,
+        attempt: u32,
+    }
+
     let total: usize = groups.iter().map(|(_, _, count)| count).sum();
     if total == 0 {
         return;
@@ -1591,63 +1723,155 @@ pub(crate) fn sweep_stream<F, S>(
         .iter()
         .map(|_| std::sync::atomic::AtomicUsize::new(0))
         .collect();
+    // Per-group retry queues (retries must re-run inside their own lockstep
+    // group: the engine's period and precision are group properties). Empty
+    // and untouched when the policy's retry budget is zero.
+    let retries: Vec<std::sync::Mutex<Vec<RetryEntry>>> = groups
+        .iter()
+        .map(|_| std::sync::Mutex::new(Vec::new()))
+        .collect();
     let worker = || {
+        // Delivers one final result to the shared sink. Poison recovery +
+        // catch_unwind keep a panicking sink from taking the sweep down:
+        // the unwind is stopped while the guard is still held, so the mutex
+        // is never poisoned in the first place, and recovery makes even an
+        // externally-poisoned mutex (a sink panic outside this path)
+        // non-fatal to siblings.
+        let deliver = |slot: usize, result: Result<RunReport, SimError>| {
+            let mut guard = sink
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(|| guard.accept(slot, result))) {
+                drop(guard);
+                eprintln!(
+                    "result sink panicked accepting slot {slot} (result discarded): {}",
+                    panic_error(payload.as_ref())
+                );
+            }
+        };
+        // Scenarios this worker currently has in flight, by result slot —
+        // the configs a retry re-derives cells from. Only maintained when
+        // retry is armed, so the default policy costs nothing.
+        let in_flight = std::cell::RefCell::new(std::collections::HashMap::<
+            usize,
+            (ExperimentConfig, u32),
+        >::new());
         for (group, (&(period_s, precision, count), cursor)) in
             groups.iter().zip(&cursors).enumerate()
         {
-            // Pulls the next admissible scenario off the group's shared
-            // queue, publishing construction failures in place.
-            let mut next = || loop {
-                let k = cursor.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if k >= count {
-                    return None;
-                }
-                let (slot, config) = provider(group, k);
-                match ControlLoop::new(&config, calibration, recording) {
-                    Ok(control) => return Some((slot, control)),
-                    Err(e) => sink
-                        .lock()
-                        .expect("result sink poisoned")
-                        .accept(slot, Err(e)),
-                }
-            };
-            let mut publish = |slot: usize, result: Result<RunReport, SimError>| {
-                sink.lock()
-                    .expect("result sink poisoned")
-                    .accept(slot, result);
-            };
+            // Keep draining this group while retry work reappears: any
+            // worker that enqueues a retry re-checks its own queue after
+            // its engine drains, so no entry is ever orphaned.
+            loop {
+                // Pulls the next admissible scenario — retries first, then
+                // the group's shared cursor — publishing construction
+                // failures in place.
+                let mut next = || loop {
+                    if policy.max_retries > 0 {
+                        let entry = retries[group]
+                            .lock()
+                            .unwrap_or_else(std::sync::PoisonError::into_inner)
+                            .pop();
+                        if let Some(RetryEntry {
+                            slot,
+                            mut config,
+                            attempt,
+                        }) = entry
+                        {
+                            if let Some(chaos) = config.chaos.as_mut() {
+                                chaos.attempt = attempt;
+                            }
+                            match ControlLoop::new(&config, calibration, recording) {
+                                Ok(control) => {
+                                    in_flight.borrow_mut().insert(slot, (config, attempt));
+                                    return Some((slot, control));
+                                }
+                                Err(e) => {
+                                    deliver(slot, Err(e));
+                                    continue;
+                                }
+                            }
+                        }
+                    }
+                    let k = cursor.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if k >= count {
+                        return None;
+                    }
+                    let (slot, config) = provider(group, k);
+                    match ControlLoop::new(&config, calibration, recording) {
+                        Ok(control) => {
+                            if policy.max_retries > 0 {
+                                in_flight.borrow_mut().insert(slot, (config, 0));
+                            }
+                            return Some((slot, control));
+                        }
+                        Err(e) => deliver(slot, Err(e)),
+                    }
+                };
+                // Routes a retired result: retryable failures with budget
+                // left go back on the group's retry queue (the cell is
+                // re-derived from its config — deterministic, seed-stable);
+                // everything else is final and delivered.
+                let mut publish = |slot: usize, result: Result<RunReport, SimError>| {
+                    if policy.max_retries > 0 {
+                        let entry = in_flight.borrow_mut().remove(&slot);
+                        if let Err(error) = &result {
+                            if let Some((config, attempt)) = entry {
+                                if ResiliencePolicy::is_retryable(error)
+                                    && attempt < policy.max_retries
+                                {
+                                    retries[group]
+                                        .lock()
+                                        .unwrap_or_else(std::sync::PoisonError::into_inner)
+                                        .push(RetryEntry {
+                                            slot,
+                                            config,
+                                            attempt: attempt + 1,
+                                        });
+                                    return;
+                                }
+                            }
+                        }
+                    }
+                    deliver(slot, result);
+                };
 
-            // Claim the initial lane-group; the engine is sized to what the
-            // queue could actually provide, so a near-empty queue never
-            // creates idle-from-birth lanes, and a drained queue lets the
-            // worker flow straight into the next group.
-            let mut claimed = Vec::with_capacity(lanes);
-            while claimed.len() < lanes {
-                match next() {
-                    Some(admitted) => claimed.push(admitted),
-                    None => break,
+                // Claim the initial lane-group; the engine is sized to what
+                // the queue could actually provide, so a near-empty queue
+                // never creates idle-from-birth lanes, and a drained queue
+                // lets the worker flow straight into the next group.
+                let mut claimed = Vec::with_capacity(lanes);
+                while claimed.len() < lanes {
+                    match next() {
+                        Some(admitted) => claimed.push(admitted),
+                        None => break,
+                    }
+                }
+                if claimed.is_empty() {
+                    break;
+                }
+                let spec = SocSpec::odroid_xu_e();
+                let params: Vec<PlantPowerParams> = claimed
+                    .iter()
+                    .map(|(_, control)| control.config.plant)
+                    .collect();
+                let mut lane_slots: Vec<LaneSlot> = claimed
+                    .into_iter()
+                    .map(|(slot, control)| LaneSlot::holding(slot, control))
+                    .collect();
+                let mut engine = AnyEngine::build(spec, &params, lanes, precision);
+                drive_engine(
+                    &mut engine,
+                    period_s,
+                    &mut lane_slots,
+                    policy,
+                    &mut next,
+                    &mut publish,
+                );
+                if policy.max_retries == 0 {
+                    break;
                 }
             }
-            if claimed.is_empty() {
-                continue;
-            }
-            let spec = SocSpec::odroid_xu_e();
-            let params: Vec<PlantPowerParams> = claimed
-                .iter()
-                .map(|(_, control)| control.config.plant)
-                .collect();
-            let mut lane_slots: Vec<LaneSlot> = claimed
-                .into_iter()
-                .map(|(slot, control)| LaneSlot::holding(slot, control))
-                .collect();
-            let mut engine = AnyEngine::build(spec, &params, lanes, precision);
-            drive_engine(
-                &mut engine,
-                period_s,
-                &mut lane_slots,
-                &mut next,
-                &mut publish,
-            );
         }
     };
     let pool = threads.min(total).max(1);
@@ -1736,6 +1960,7 @@ pub fn run_lockstep(
             &mut engine,
             period_s,
             &mut lanes,
+            &ResiliencePolicy::default(),
             &mut || None,
             &mut |slot, result| slots[slot] = Some(result),
         );

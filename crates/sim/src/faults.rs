@@ -30,6 +30,7 @@ use soc_model::PowerDomain;
 
 use crate::campaign::splitmix64;
 use crate::sensors::SensorReadings;
+use crate::SimError;
 
 /// One addressable channel of the measured sensor chain.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -182,6 +183,67 @@ impl FaultPlan {
     /// Whether the plan contains no windows at all.
     pub fn is_empty(&self) -> bool {
         self.windows.is_empty()
+    }
+
+    /// Validates every window of the plan: windows must be well-formed
+    /// (`start_s` finite and non-negative, `end_s > start_s` — open-ended
+    /// `end_s = ∞` is fine), fault parameters must be finite (offsets,
+    /// drift rates, spike magnitudes), and channels must exist (core index
+    /// < 4). A malformed plan is rejected here, at construction or
+    /// deserialisation time, with a descriptive [`SimError::FaultPlan`] —
+    /// not discovered as silent NaN injection mid-campaign. Every run gate
+    /// ([`crate::Experiment::new`], sweeps, campaigns) validates the
+    /// configured plan before building its control loop.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::FaultPlan`] naming the first offending window and
+    /// what is wrong with it.
+    pub fn validate(&self) -> Result<(), SimError> {
+        for (index, window) in self.windows.iter().enumerate() {
+            let reject = |what: String| {
+                Err(SimError::FaultPlan(format!(
+                    "window {index} ({}): {what}",
+                    window.channel
+                )))
+            };
+            if let SensorChannel::CoreTemp(core) = window.channel {
+                if core >= 4 {
+                    return reject(format!("core-temp index {core} out of range (0..4)"));
+                }
+            }
+            if !window.start_s.is_finite() || window.start_s < 0.0 {
+                return reject(format!(
+                    "window start {} must be finite and non-negative",
+                    window.start_s
+                ));
+            }
+            if window.end_s.is_nan() || window.end_s <= window.start_s {
+                return reject(format!(
+                    "window [{}, {}) is inverted or zero-length",
+                    window.start_s, window.end_s
+                ));
+            }
+            match window.kind {
+                FaultKind::StuckAt | FaultKind::Dropped | FaultKind::Delayed { .. } => {}
+                FaultKind::OffsetDrift {
+                    initial,
+                    drift_per_s,
+                } => {
+                    if !initial.is_finite() || !drift_per_s.is_finite() {
+                        return reject(format!(
+                            "offset-drift parameters ({initial}, {drift_per_s}/s) must be finite"
+                        ));
+                    }
+                }
+                FaultKind::Spike { magnitude, .. } => {
+                    if !magnitude.is_finite() {
+                        return reject(format!("spike magnitude {magnitude} must be finite"));
+                    }
+                }
+            }
+        }
+        Ok(())
     }
 }
 
@@ -429,6 +491,113 @@ mod tests {
         assert_eq!(out.core_temps_c[1], 42.0);
         let out = injector.apply(6, 0.6, reading([46.0; 4], 6.0));
         assert_eq!(out.core_temps_c[1], 43.0);
+    }
+
+    #[test]
+    fn validation_accepts_well_formed_plans() {
+        assert!(FaultPlan::new(0).validate().is_ok(), "empty plan is fine");
+        let plan = FaultPlan::new(1)
+            .with_window(FaultWindow {
+                channel: SensorChannel::CoreTemp(3),
+                kind: FaultKind::OffsetDrift {
+                    initial: -2.0,
+                    drift_per_s: 0.5,
+                },
+                start_s: 0.0,
+                end_s: f64::INFINITY,
+            })
+            .with_window(FaultWindow {
+                channel: SensorChannel::PlatformPower,
+                kind: FaultKind::Spike {
+                    magnitude: 10.0,
+                    period_intervals: 5,
+                },
+                start_s: 1.0,
+                end_s: 2.0,
+            });
+        assert!(plan.validate().is_ok(), "open-ended windows are fine");
+    }
+
+    #[test]
+    fn validation_rejects_malformed_windows_descriptively() {
+        let base = |kind, start_s, end_s| FaultWindow {
+            channel: SensorChannel::CoreTemp(0),
+            kind,
+            start_s,
+            end_s,
+        };
+        let cases = [
+            (base(FaultKind::Dropped, 1.0, 1.0), "zero-length"),
+            (base(FaultKind::Dropped, 2.0, 1.0), "inverted"),
+            (base(FaultKind::Dropped, f64::NAN, 5.0), "finite"),
+            (base(FaultKind::Dropped, -1.0, 5.0), "non-negative"),
+            (
+                base(FaultKind::Dropped, 0.0, f64::NAN),
+                "inverted or zero-length",
+            ),
+            (
+                base(
+                    FaultKind::OffsetDrift {
+                        initial: f64::INFINITY,
+                        drift_per_s: 0.0,
+                    },
+                    0.0,
+                    1.0,
+                ),
+                "offset-drift",
+            ),
+            (
+                base(
+                    FaultKind::OffsetDrift {
+                        initial: 0.0,
+                        drift_per_s: f64::NAN,
+                    },
+                    0.0,
+                    1.0,
+                ),
+                "offset-drift",
+            ),
+            (
+                base(
+                    FaultKind::Spike {
+                        magnitude: f64::NAN,
+                        period_intervals: 3,
+                    },
+                    0.0,
+                    1.0,
+                ),
+                "spike magnitude",
+            ),
+            (
+                FaultWindow {
+                    channel: SensorChannel::CoreTemp(7),
+                    kind: FaultKind::Dropped,
+                    start_s: 0.0,
+                    end_s: 1.0,
+                },
+                "out of range",
+            ),
+        ];
+        for (window, needle) in cases {
+            let err = FaultPlan::new(0)
+                .with_window(window)
+                .validate()
+                .expect_err("malformed window must be rejected");
+            let msg = err.to_string();
+            assert!(
+                msg.contains("invalid fault plan") && msg.contains(needle),
+                "error {msg:?} should mention {needle:?}"
+            );
+        }
+        // The offending window is named by position.
+        let plan = FaultPlan::new(0)
+            .with_window(base(FaultKind::Dropped, 0.0, 1.0))
+            .with_window(base(FaultKind::Dropped, 5.0, 4.0));
+        assert!(plan
+            .validate()
+            .unwrap_err()
+            .to_string()
+            .contains("window 1"));
     }
 
     #[test]

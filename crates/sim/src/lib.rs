@@ -65,6 +65,13 @@
 //!   advanced in lockstep, one scenario per panel column.
 //! * [`naive`] — the checked-in naive baseline of the plant integrator, kept
 //!   for benchmarking and trajectory-equivalence tests.
+//! * [`resilience`] — the robustness layer for long campaigns: atomic
+//!   checkpoint/resume ([`resilience::CampaignCheckpoint`] /
+//!   [`resilience::CheckpointSink`]), deterministic shard merge
+//!   ([`resilience::ShardSpec`] / [`resilience::MergeSink`]) and the
+//!   cell-level fault-containment policy ([`resilience::ResiliencePolicy`]:
+//!   contained panics, bounded deterministic retry, cooperative per-cell
+//!   deadlines) the sweep executor enforces.
 //!
 //! # Hot-path architecture
 //!
@@ -253,6 +260,7 @@ pub mod mixed;
 pub mod naive;
 pub mod observer;
 pub mod plant;
+pub mod resilience;
 pub mod safety;
 pub mod sensors;
 pub mod trace;
@@ -274,6 +282,10 @@ pub use mixed::MixedBatchPlant;
 pub use naive::NaivePhysicalPlant;
 pub use observer::{DecimatedTrace, OnlineRunStats, RunObserver, TracePolicy};
 pub use plant::{PhysicalPlant, PlantPowerParams};
+pub use resilience::{
+    CampaignAggregate, CampaignCheckpoint, CellBitmap, CellFailure, CellOutcome, CellStats,
+    ChaosPlan, CheckpointSink, MergeSink, ResiliencePolicy, ShardRunner, ShardSpec,
+};
 pub use safety::{
     FaultObservation, HealthConfig, Incident, IncidentKind, IncidentLog, LadderConfig,
     SafetyConfig, SafetyLadder, SafetyState, SensorHealth,
