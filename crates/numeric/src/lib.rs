@@ -98,6 +98,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod aligned;
+pub mod codec;
 pub mod elem;
 pub mod fit;
 pub mod interp;
@@ -111,6 +112,7 @@ pub mod stats;
 mod error;
 
 pub use aligned::PANEL_ALIGN;
+pub use codec::{crc32, ByteReader, ByteWriter, CodecError};
 pub use elem::Elem;
 pub use error::NumericError;
 pub use fit::{levenberg_marquardt, FitOptions, FitReport};

@@ -41,10 +41,14 @@ use crate::experiment::{sweep_stream, ExperimentConfig, ExperimentKind, ResultSi
 use crate::faults::FaultPlan;
 use crate::observer::TracePolicy;
 use crate::plant::PlantPowerParams;
-use crate::resilience::{CampaignCheckpoint, ResiliencePolicy};
+use crate::resilience::{CampaignCheckpoint, ChaosPlan, ResiliencePolicy};
 
 fn default_fault_axis() -> Vec<Option<FaultPlan>> {
     vec![None]
+}
+
+fn default_chaos_cells() -> Vec<(usize, ChaosPlan)> {
+    Vec::new()
 }
 
 /// SplitMix64: the finalising mix of a 64-bit counter into a well-distributed
@@ -162,6 +166,13 @@ pub struct SweepSpec {
     /// their results bit-identical.
     #[serde(default)]
     pub precision: EnginePrecision,
+    /// Deterministic executor-fault injection pinned to specific cells:
+    /// each `(cell index, plan)` entry makes that cell's control loop carry
+    /// the [`ChaosPlan`] — the containment/retry test hook, now a campaign
+    /// property so distributed and in-process executions of the same spec
+    /// inject identical faults. Empty (the default) is entirely inert.
+    #[serde(default = "default_chaos_cells")]
+    pub chaos_cells: Vec<(usize, ChaosPlan)>,
 }
 
 impl SweepSpec {
@@ -184,6 +195,7 @@ impl SweepSpec {
             plant: defaults.plant,
             ideal_sensors: defaults.ideal_sensors,
             precision: defaults.precision,
+            chaos_cells: default_chaos_cells(),
         }
     }
 
@@ -245,6 +257,15 @@ impl SweepSpec {
         self
     }
 
+    /// Pins a [`ChaosPlan`] to one cell of the grid: that cell's control
+    /// loop will carry the injected executor fault on every execution of
+    /// this spec, wherever (and however often, under retry) the cell runs.
+    #[must_use]
+    pub fn with_cell_chaos(mut self, index: usize, plan: ChaosPlan) -> Self {
+        self.chaos_cells.push((index, plan));
+        self
+    }
+
     /// Number of grid cells: the product of every axis length (zero if any
     /// axis is empty).
     pub fn cells(&self) -> usize {
@@ -299,6 +320,9 @@ impl SweepSpec {
         config.ideal_sensors = self.ideal_sensors;
         config.faults = self.fault_plans[fault].clone();
         config.precision = self.precision;
+        if let Some((_, plan)) = self.chaos_cells.iter().find(|(cell, _)| *cell == index) {
+            config.chaos = Some(*plan);
+        }
         config
     }
 
@@ -637,6 +661,19 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn cell_chaos_pins_plans_to_single_cells() {
+        let chaotic = spec().with_cell_chaos(5, ChaosPlan::panic_at(3).healing_after(1));
+        assert_eq!(
+            chaotic.cell(5).chaos,
+            Some(ChaosPlan::panic_at(3).healing_after(1))
+        );
+        assert!(chaotic.cell(4).chaos.is_none());
+        assert!(chaotic.cell(6).chaos.is_none());
+        // The chaos axis is part of the grid identity.
+        assert_ne!(spec().fingerprint(), chaotic.fingerprint());
     }
 
     #[test]

@@ -1,0 +1,265 @@
+//! The coordinator↔worker message protocol: a handful of small enums
+//! encoded with the [`super::codec`] field encoders inside length-prefixed
+//! frames ([`super::transport::write_frame`]).
+//!
+//! Messages are *not* individually checksummed — the transport's framing
+//! already bounds each payload, and the standalone-blob CRC discipline is
+//! reserved for payloads that touch disk. A structurally malformed message
+//! is a protocol error ([`crate::SimError::Io`]) and tears down the
+//! connection; the coordinator treats that like any other worker death and
+//! re-leases the outstanding range.
+
+use numeric::codec::{ByteReader, ByteWriter};
+
+use crate::calibrate::CalibrationCampaign;
+use crate::campaign::SweepSpec;
+use crate::error::SimError;
+use crate::resilience::{CellOutcome, ResiliencePolicy};
+
+use super::codec;
+
+/// Everything a worker needs to execute leases against a grid: the shared
+/// sweep, the calibration recipe it re-derives locally, and the execution
+/// knobs the coordinator pins so every worker runs cells identically.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct WorkerSetup {
+    /// The campaign grid every lease indexes into.
+    pub spec: SweepSpec,
+    /// The calibration campaign the worker re-runs locally (cheaper to
+    /// recompute than to serialise, and exactly reproducible).
+    pub calibration: CalibrationCampaign,
+    /// Seed for the calibration campaign's PRBS excitation.
+    pub calibration_seed: u64,
+    /// Worker-local shard threads per lease.
+    pub threads: usize,
+    /// SIMD batch lanes per thread.
+    pub lanes: usize,
+    /// Cell-level containment policy, identical on every worker.
+    pub resilience: ResiliencePolicy,
+}
+
+/// A coordinator-to-worker message.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum ToWorker {
+    /// Opens the session: ships the grid and execution knobs. The worker
+    /// answers [`ToCoordinator::Ready`] once its calibration is derived.
+    Hello(Box<WorkerSetup>),
+    /// Leases cells `[start, end)` of the grid to this worker under an
+    /// opaque lease id (echoed in every heartbeat and completion).
+    Lease {
+        lease: u64,
+        start: usize,
+        end: usize,
+    },
+    /// Ends the session; the worker exits its serve loop.
+    Shutdown,
+}
+
+/// A worker-to-coordinator message.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum ToCoordinator {
+    /// The worker derived its calibration and accepts leases.
+    Ready,
+    /// Liveness: `completed` cells of lease `lease` have retired so far.
+    /// Sent once per retired cell (modulo the sink's delivery batching).
+    Heartbeat { lease: u64, completed: usize },
+    /// Lease `lease` finished; every owned cell's terminal outcome, keyed
+    /// by grid index so the coordinator can dedup re-leased ranges.
+    LeaseDone {
+        lease: u64,
+        outcomes: Vec<(usize, CellOutcome)>,
+    },
+}
+
+fn malformed(what: &str) -> SimError {
+    SimError::Io(format!("malformed protocol message: {what}"))
+}
+
+impl ToWorker {
+    /// Serialises the message as one frame payload.
+    pub(crate) fn encode(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        match self {
+            ToWorker::Hello(setup) => {
+                w.put_u8(0);
+                codec::put_spec(&mut w, &setup.spec);
+                codec::put_calibration_campaign(&mut w, &setup.calibration);
+                w.put_u64(setup.calibration_seed);
+                w.put_usize(setup.threads);
+                w.put_usize(setup.lanes);
+                codec::put_resilience(&mut w, &setup.resilience);
+            }
+            ToWorker::Lease { lease, start, end } => {
+                w.put_u8(1);
+                w.put_u64(*lease);
+                w.put_usize(*start);
+                w.put_usize(*end);
+            }
+            ToWorker::Shutdown => w.put_u8(2),
+        }
+        w.into_bytes()
+    }
+
+    /// Decodes one frame payload.
+    pub(crate) fn decode(bytes: &[u8]) -> Result<ToWorker, SimError> {
+        let mut r = ByteReader::new(bytes);
+        let message = match r.take_u8().map_err(codec::codec_error)? {
+            0 => ToWorker::Hello(Box::new(WorkerSetup {
+                spec: codec::take_spec(&mut r)?,
+                calibration: codec::take_calibration_campaign(&mut r)?,
+                calibration_seed: r.take_u64().map_err(codec::codec_error)?,
+                threads: r.take_usize().map_err(codec::codec_error)?,
+                lanes: r.take_usize().map_err(codec::codec_error)?,
+                resilience: codec::take_resilience(&mut r)?,
+            })),
+            1 => ToWorker::Lease {
+                lease: r.take_u64().map_err(codec::codec_error)?,
+                start: r.take_usize().map_err(codec::codec_error)?,
+                end: r.take_usize().map_err(codec::codec_error)?,
+            },
+            2 => ToWorker::Shutdown,
+            _ => return Err(malformed("unknown coordinator message tag")),
+        };
+        r.finish().map_err(codec::codec_error)?;
+        Ok(message)
+    }
+}
+
+impl ToCoordinator {
+    /// Serialises the message as one frame payload.
+    pub(crate) fn encode(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        match self {
+            ToCoordinator::Ready => w.put_u8(0),
+            ToCoordinator::Heartbeat { lease, completed } => {
+                w.put_u8(1);
+                w.put_u64(*lease);
+                w.put_usize(*completed);
+            }
+            ToCoordinator::LeaseDone { lease, outcomes } => {
+                w.put_u8(2);
+                w.put_u64(*lease);
+                w.put_usize(outcomes.len());
+                for (index, outcome) in outcomes {
+                    w.put_usize(*index);
+                    codec::put_outcome(&mut w, outcome);
+                }
+            }
+        }
+        w.into_bytes()
+    }
+
+    /// Decodes one frame payload.
+    pub(crate) fn decode(bytes: &[u8]) -> Result<ToCoordinator, SimError> {
+        let mut r = ByteReader::new(bytes);
+        let message = match r.take_u8().map_err(codec::codec_error)? {
+            0 => ToCoordinator::Ready,
+            1 => ToCoordinator::Heartbeat {
+                lease: r.take_u64().map_err(codec::codec_error)?,
+                completed: r.take_usize().map_err(codec::codec_error)?,
+            },
+            2 => {
+                let lease = r.take_u64().map_err(codec::codec_error)?;
+                let count = r.take_usize().map_err(codec::codec_error)?;
+                let mut outcomes = Vec::with_capacity(count.min(4096));
+                for _ in 0..count {
+                    let index = r.take_usize().map_err(codec::codec_error)?;
+                    outcomes.push((index, codec::take_outcome(&mut r)?));
+                }
+                ToCoordinator::LeaseDone { lease, outcomes }
+            }
+            _ => return Err(malformed("unknown worker message tag")),
+        };
+        r.finish().map_err(codec::codec_error)?;
+        Ok(message)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::ExperimentKind;
+    use crate::resilience::{CellFailure, CellStats};
+    use workload::BenchmarkId;
+
+    #[test]
+    fn messages_round_trip() {
+        let setup = WorkerSetup {
+            spec: SweepSpec::new(
+                vec![ExperimentKind::Dtpm],
+                vec![BenchmarkId::Crc32, BenchmarkId::Fft],
+            )
+            .with_replicates(2)
+            .with_campaign_seed(7),
+            calibration: CalibrationCampaign {
+                prbs_duration_s: 120.0,
+                run_furnace: false,
+                ..Default::default()
+            },
+            calibration_seed: 37,
+            threads: 2,
+            lanes: 4,
+            resilience: ResiliencePolicy::default().with_max_retries(1),
+        };
+        for message in [
+            ToWorker::Hello(Box::new(setup)),
+            ToWorker::Lease {
+                lease: 9,
+                start: 1,
+                end: 3,
+            },
+            ToWorker::Shutdown,
+        ] {
+            assert_eq!(ToWorker::decode(&message.encode()).expect("ok"), message);
+        }
+        let outcomes = vec![
+            (
+                0,
+                CellOutcome::Completed(CellStats {
+                    completed: true,
+                    execution_time_s: 4.0,
+                    intervals: 40,
+                    energy_j: 16.0,
+                    mean_platform_power_w: 4.0,
+                    mean_temp_c: 51.0,
+                    peak_temp_c: 58.0,
+                    intervention_rate: 0.0,
+                    escalations: 0,
+                    sensor_faults: 0,
+                    shut_down: false,
+                }),
+            ),
+            (
+                1,
+                CellOutcome::Failed(CellFailure {
+                    index: 1,
+                    error: "cell panicked (contained): chaos".to_owned(),
+                }),
+            ),
+        ];
+        for message in [
+            ToCoordinator::Ready,
+            ToCoordinator::Heartbeat {
+                lease: 9,
+                completed: 2,
+            },
+            ToCoordinator::LeaseDone { lease: 9, outcomes },
+        ] {
+            assert_eq!(
+                ToCoordinator::decode(&message.encode()).expect("ok"),
+                message
+            );
+        }
+    }
+
+    #[test]
+    fn malformed_messages_are_rejected() {
+        assert!(ToWorker::decode(&[]).is_err());
+        assert!(ToWorker::decode(&[99]).is_err());
+        assert!(ToCoordinator::decode(&[99]).is_err());
+        // Trailing bytes after a well-formed message are a protocol error.
+        let mut frame = ToCoordinator::Ready.encode();
+        frame.push(0);
+        assert!(ToCoordinator::decode(&frame).is_err());
+    }
+}

@@ -31,6 +31,11 @@ pub enum SimError {
     /// channel), rejected at construction instead of producing silent
     /// nonsense mid-campaign.
     FaultPlan(String),
+    /// A persisted or transported payload failed its integrity check (CRC
+    /// mismatch, truncation past the structural headers): the data is
+    /// rejected wholesale rather than partially decoded — a corrupted
+    /// checkpoint resumed "best effort" would silently skew the campaign.
+    Corrupted(String),
     /// The cell's control loop panicked and the panic was contained by the
     /// sweep executor: the cell is quarantined with this structured failure
     /// while sibling lanes keep running.
@@ -56,6 +61,7 @@ impl fmt::Display for SimError {
             SimError::Sensor(msg) => write!(f, "sensor chain error: {msg}"),
             SimError::Io(msg) => write!(f, "i/o error: {msg}"),
             SimError::FaultPlan(msg) => write!(f, "invalid fault plan: {msg}"),
+            SimError::Corrupted(msg) => write!(f, "corrupted payload: {msg}"),
             SimError::Panicked(msg) => write!(f, "cell panicked (contained): {msg}"),
             SimError::Deadline { intervals } => write!(
                 f,

@@ -1730,23 +1730,64 @@ pub(crate) fn sweep_stream<F, S>(
         .iter()
         .map(|_| std::sync::Mutex::new(Vec::new()))
         .collect();
+    /// Retired results a worker buffers before taking the sink lock:
+    /// batching amortises the mutex handoff across deliveries, so a wide
+    /// pool of fast cells no longer serialises on the sink. Small enough
+    /// that sink-side effects (checkpoint cadence, worker heartbeats) lag
+    /// completion by at most a few cells.
+    const SINK_BATCH: usize = 8;
     let worker = || {
-        // Delivers one final result to the shared sink. Poison recovery +
-        // catch_unwind keep a panicking sink from taking the sweep down:
-        // the unwind is stopped while the guard is still held, so the mutex
-        // is never poisoned in the first place, and recovery makes even an
-        // externally-poisoned mutex (a sink panic outside this path)
-        // non-fatal to siblings.
+        // Retired results awaiting delivery. Each entry is handed to the
+        // sink exactly once — at the next batch flush or at worker exit —
+        // so the ResultSink contract (every index, exactly once) and the
+        // merge layer's order-independence are untouched; only the lock
+        // cadence changes.
+        let outbox = std::cell::RefCell::new(
+            Vec::<(usize, Result<RunReport, SimError>)>::with_capacity(SINK_BATCH),
+        );
+        // Delivers the buffered results to the shared sink under one lock
+        // acquisition. Poison recovery + catch_unwind keep a panicking sink
+        // from taking the sweep down: the unwind is stopped while the guard
+        // is still held, so the mutex is never poisoned in the first place,
+        // and recovery makes even an externally-poisoned mutex (a sink
+        // panic outside this path) non-fatal to siblings.
+        let flush = || {
+            let batch: Vec<(usize, Result<RunReport, SimError>)> = {
+                let mut outbox = outbox.borrow_mut();
+                if outbox.is_empty() {
+                    return;
+                }
+                outbox.drain(..).collect()
+            };
+            let mut sink_panics: Vec<String> = Vec::new();
+            {
+                let mut guard = sink
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                for (slot, result) in batch {
+                    if let Err(payload) =
+                        catch_unwind(AssertUnwindSafe(|| guard.accept(slot, result)))
+                    {
+                        sink_panics.push(format!(
+                            "result sink panicked accepting slot {slot} (result discarded): {}",
+                            panic_error(payload.as_ref())
+                        ));
+                    }
+                }
+            }
+            for message in sink_panics {
+                eprintln!("{message}");
+            }
+        };
+        // Queues one final result for delivery, flushing a full batch.
         let deliver = |slot: usize, result: Result<RunReport, SimError>| {
-            let mut guard = sink
-                .lock()
-                .unwrap_or_else(std::sync::PoisonError::into_inner);
-            if let Err(payload) = catch_unwind(AssertUnwindSafe(|| guard.accept(slot, result))) {
-                drop(guard);
-                eprintln!(
-                    "result sink panicked accepting slot {slot} (result discarded): {}",
-                    panic_error(payload.as_ref())
-                );
+            let full = {
+                let mut outbox = outbox.borrow_mut();
+                outbox.push((slot, result));
+                outbox.len() >= SINK_BATCH
+            };
+            if full {
+                flush();
             }
         };
         // Scenarios this worker currently has in flight, by result slot —
@@ -1873,6 +1914,9 @@ pub(crate) fn sweep_stream<F, S>(
                 }
             }
         }
+        // Everything this worker retired reaches the sink before the worker
+        // (and therefore the sweep) returns.
+        flush();
     };
     let pool = threads.min(total).max(1);
     if pool == 1 {

@@ -251,6 +251,7 @@
 pub mod batch;
 pub mod calibrate;
 pub mod campaign;
+pub mod distributed;
 pub mod engine;
 pub mod error;
 pub mod experiment;
@@ -268,6 +269,9 @@ pub mod trace;
 pub use batch::BatchPlant;
 pub use calibrate::{Calibration, CalibrationCampaign};
 pub use campaign::{splitmix64, CampaignRunner, DtpmVariant, SweepSpec};
+pub use distributed::{
+    Coordinator, DistributedReport, LeaseStats, MemoryTransport, Transport, WorkerPool,
+};
 pub use engine::{
     EnginePrecision, LaneInput, MixedPanelEngine, PanelEngine, PlantEngine, ScalarEngine,
 };

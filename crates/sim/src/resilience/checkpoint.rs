@@ -87,6 +87,33 @@ impl CellBitmap {
     pub fn missing(&self) -> Vec<usize> {
         (0..self.len).filter(|&k| !self.get(k)).collect()
     }
+
+    /// The raw 64-bit words backing the bitmap. Crate-internal, for the
+    /// wire codecs.
+    pub(crate) fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Reassembles a bitmap from its raw words, validating the word count
+    /// and that no bit is set past the cell count. Both wire decoders (text
+    /// and binary) funnel through here.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Io`] on any violated invariant.
+    pub(crate) fn from_words(words: Vec<u64>, len: usize) -> Result<CellBitmap, SimError> {
+        if words.len() != len.div_ceil(64) {
+            return Err(wire::malformed("bitmap word count disagrees with cells"));
+        }
+        if !len.is_multiple_of(64) {
+            if let Some(last) = words.last() {
+                if last >> (len % 64) != 0 {
+                    return Err(wire::malformed("bitmap has bits past the cell count"));
+                }
+            }
+        }
+        Ok(CellBitmap { words, len })
+    }
 }
 
 /// A durable snapshot of a campaign's progress: which cells have reported
@@ -146,6 +173,11 @@ impl CampaignCheckpoint {
         &self.fold
     }
 
+    /// The completion bitmap. Crate-internal, for the wire codecs.
+    pub(crate) fn bitmap(&self) -> &CellBitmap {
+        &self.bitmap
+    }
+
     /// Consumes the checkpoint, returning its merge fold (the campaign's
     /// aggregated result).
     pub fn into_fold(self) -> MergeSink {
@@ -164,7 +196,38 @@ impl CampaignCheckpoint {
         self.fold.accept(index, outcome);
     }
 
-    /// Serialises the checkpoint (the on-disk format).
+    /// Reassembles a checkpoint from its raw parts, validating the
+    /// cross-field invariants: the fold covers exactly the bitmap's cells
+    /// and the two completion counts agree. Both wire decoders (text and
+    /// binary) funnel through here.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Io`] on any violated invariant.
+    pub(crate) fn from_parts(
+        fingerprint: u64,
+        bitmap: CellBitmap,
+        fold: MergeSink,
+    ) -> Result<CampaignCheckpoint, SimError> {
+        if fold.range() != (0..bitmap.len()) {
+            return Err(wire::malformed("fold range disagrees with cell count"));
+        }
+        if fold.completed_cells() != bitmap.count_ones() {
+            return Err(wire::malformed(
+                "fold completion count disagrees with bitmap",
+            ));
+        }
+        Ok(CampaignCheckpoint {
+            fingerprint,
+            bitmap,
+            fold,
+        })
+    }
+
+    /// Serialises the checkpoint (the on-disk format): the v1 body followed
+    /// by a `crc32` integrity footer over every byte before it, so bit rot
+    /// and torn writes are detected at load instead of skewing a resumed
+    /// campaign.
     pub fn encode(&self) -> String {
         use std::fmt::Write;
         let mut out = String::new();
@@ -178,16 +241,54 @@ impl CampaignCheckpoint {
         }
         out.push('\n');
         self.fold.encode_into(&mut out);
+        let crc = numeric::codec::crc32(out.as_bytes());
+        writeln!(out, "crc32 {crc:08x}").expect("string write");
         out
     }
 
+    /// Splits a trailing `crc32` footer line off a checkpoint rendering,
+    /// returning the covered body and the stated checksum — or `None` for a
+    /// footerless (pre-footer) checkpoint, which stays decodable.
+    fn split_crc_footer(text: &str) -> Result<Option<(&str, u32)>, SimError> {
+        let Some(stripped) = text.strip_suffix('\n') else {
+            return Ok(None);
+        };
+        let Some((head, last)) = stripped.rsplit_once('\n') else {
+            return Ok(None);
+        };
+        let Some(bits) = last.strip_prefix("crc32 ") else {
+            return Ok(None);
+        };
+        let stated = u32::from_str_radix(bits, 16)
+            .map_err(|_| SimError::Corrupted(format!("unreadable crc32 footer {bits:?}")))?;
+        // The footer covers everything before its own line, including the
+        // preceding newline.
+        Ok(Some((&text[..head.len() + 1], stated)))
+    }
+
     /// Decodes a checkpoint serialised by [`CampaignCheckpoint::encode`],
-    /// bit-exactly.
+    /// bit-exactly. Footerless checkpoints (written before the integrity
+    /// footer existed) decode unchanged; a present footer is verified
+    /// first, so corruption anywhere in the body is rejected wholesale.
     ///
     /// # Errors
     ///
-    /// Returns [`SimError::Io`] on malformed input.
+    /// Returns [`SimError::Corrupted`] on a checksum mismatch and
+    /// [`SimError::Io`] on structurally malformed input.
     pub fn decode(text: &str) -> Result<CampaignCheckpoint, SimError> {
+        let text = match CampaignCheckpoint::split_crc_footer(text)? {
+            Some((body, stated)) => {
+                let computed = numeric::codec::crc32(body.as_bytes());
+                if computed != stated {
+                    return Err(SimError::Corrupted(format!(
+                        "checkpoint crc32 mismatch: footer says {stated:08x}, \
+                         content hashes to {computed:08x}"
+                    )));
+                }
+                body
+            }
+            None => text,
+        };
         let mut lines = text.lines();
         let header = lines.next().unwrap_or_default();
         if header != "dtpm-campaign-checkpoint v1" {
@@ -217,35 +318,12 @@ impl CampaignCheckpoint {
         let words = fields
             .map(wire::parse_u64_hex)
             .collect::<Result<Vec<u64>, SimError>>()?;
-        if words.len() != cells.div_ceil(64) {
-            return Err(wire::malformed("bitmap word count disagrees with cells"));
-        }
-        if cells % 64 != 0 {
-            if let Some(last) = words.last() {
-                if last >> (cells % 64) != 0 {
-                    return Err(wire::malformed("bitmap has bits past the cell count"));
-                }
-            }
-        }
-        let bitmap = CellBitmap { words, len: cells };
+        let bitmap = CellBitmap::from_words(words, cells)?;
         let fold = MergeSink::decode_from(&mut lines)?;
-        if fold.range() != (0..cells) {
-            return Err(wire::malformed("fold range disagrees with cell count"));
-        }
         if lines.next().is_some() {
             return Err(wire::malformed("trailing data after checkpoint"));
         }
-        let completed = bitmap.count_ones();
-        if fold.completed_cells() != completed {
-            return Err(wire::malformed(
-                "fold completion count disagrees with bitmap",
-            ));
-        }
-        Ok(CampaignCheckpoint {
-            fingerprint,
-            bitmap,
-            fold,
-        })
+        CampaignCheckpoint::from_parts(fingerprint, bitmap, fold)
     }
 
     /// Writes the checkpoint to `path` atomically: the serialised snapshot
@@ -456,6 +534,57 @@ mod tests {
         assert!(CampaignCheckpoint::decode(&bad).is_err());
         let truncated: String = good.lines().take(2).collect::<Vec<_>>().join("\n");
         assert!(CampaignCheckpoint::decode(&truncated).is_err());
+    }
+
+    #[test]
+    fn crc_footer_detects_corruption_and_tolerates_legacy_files() {
+        let mut checkpoint = CampaignCheckpoint::new(0xABCD, 70);
+        for k in [0, 3, 64] {
+            checkpoint.record(k, failed(k));
+        }
+        let encoded = checkpoint.encode();
+        let footer = encoded.trim_end().lines().last().expect("footer line");
+        assert!(footer.starts_with("crc32 "), "encode appends the footer");
+        assert_eq!(
+            CampaignCheckpoint::decode(&encoded).expect("round trip"),
+            checkpoint
+        );
+
+        // A footerless rendering — the pre-footer on-disk format — still
+        // decodes to the same state.
+        let legacy: String = encoded
+            .lines()
+            .filter(|line| !line.starts_with("crc32 "))
+            .map(|line| format!("{line}\n"))
+            .collect();
+        assert_eq!(
+            CampaignCheckpoint::decode(&legacy).expect("legacy decode"),
+            checkpoint
+        );
+
+        // A flipped hex digit in the body (here: the fingerprint) would
+        // parse fine structurally — the checksum catches it wholesale.
+        let flipped = encoded.replacen(
+            "fingerprint 000000000000abcd",
+            "fingerprint 000000000000abce",
+            1,
+        );
+        assert_ne!(flipped, encoded, "corruption actually applied");
+        assert!(matches!(
+            CampaignCheckpoint::decode(&flipped),
+            Err(SimError::Corrupted(_))
+        ));
+
+        // An unreadable footer is corruption, not a silent legacy fallback.
+        let bad_footer = format!("{legacy}crc32 zzzzzzzz\n");
+        assert!(matches!(
+            CampaignCheckpoint::decode(&bad_footer),
+            Err(SimError::Corrupted(_))
+        ));
+
+        // A file truncated mid-body (footer gone entirely) is still
+        // rejected, through the structural checks.
+        assert!(CampaignCheckpoint::decode(&encoded[..encoded.len() / 2]).is_err());
     }
 
     #[test]

@@ -94,6 +94,22 @@ pub enum CellOutcome {
     Failed(CellFailure),
 }
 
+impl CellOutcome {
+    /// The canonical projection from a run outcome to a cell outcome —
+    /// every sink that feeds a merge fold (in-process or over a distributed
+    /// transport) funnels through here, so the folded bits cannot depend on
+    /// where the cell ran.
+    pub(crate) fn from_run(index: usize, outcome: Result<RunReport, SimError>) -> CellOutcome {
+        match outcome {
+            Ok(report) => CellOutcome::Completed(CellStats::from(&report.summary)),
+            Err(error) => CellOutcome::Failed(CellFailure {
+                index,
+                error: error.to_string(),
+            }),
+        }
+    }
+}
+
 /// Campaign-level merged statistics: counts, totals, and Welford
 /// accumulators over the per-cell summaries, maintained by [`MergeSink`] in
 /// canonical cell order. Two aggregates over disjoint index ranges combine
@@ -355,6 +371,65 @@ impl MergeSink {
         Ok(sink)
     }
 
+    /// The fold cursor: the next cell index the in-order fold is waiting
+    /// for. Crate-internal, for the wire codecs.
+    pub(crate) fn next_index(&self) -> usize {
+        self.next
+    }
+
+    /// The buffered out-of-order arrivals, keyed by cell index.
+    /// Crate-internal, for the wire codecs.
+    pub(crate) fn pending_outcomes(&self) -> &BTreeMap<usize, CellOutcome> {
+        &self.pending
+    }
+
+    /// Reassembles a sink from its raw state, validating every structural
+    /// invariant the field encoders cannot express: the range is ordered,
+    /// the fold cursor lies inside it, the aggregate's cell count matches
+    /// the folded prefix, and every pending outcome sits in the unfolded
+    /// tail. Both wire decoders (text and binary) funnel through here, so
+    /// the two formats reject exactly the same inconsistencies.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Io`] on any violated invariant.
+    pub(crate) fn from_parts(
+        start: usize,
+        end: usize,
+        next: usize,
+        aggregate: CampaignAggregate,
+        pending: BTreeMap<usize, CellOutcome>,
+        failures: Vec<CellFailure>,
+    ) -> Result<MergeSink, SimError> {
+        if start > end {
+            return Err(wire::malformed("inverted cell range"));
+        }
+        if next < start || next > end {
+            return Err(wire::malformed("fold cursor outside the cell range"));
+        }
+        if aggregate.cells != next - start {
+            return Err(wire::malformed(
+                "aggregate cell count disagrees with cursor",
+            ));
+        }
+        if let Some((&index, _)) = pending
+            .iter()
+            .find(|(&index, _)| index < next || index >= end)
+        {
+            return Err(wire::malformed(format!(
+                "pending cell {index} outside the unfolded range"
+            )));
+        }
+        Ok(MergeSink {
+            start,
+            end,
+            next,
+            aggregate,
+            pending,
+            failures,
+        })
+    }
+
     /// Writes the body lines of the wire format (shared with the campaign
     /// checkpoint, which embeds a sink section).
     pub(crate) fn encode_into(&self, out: &mut String) {
@@ -418,13 +493,7 @@ impl MergeSink {
             wire::parse_usize(&range.remove(0))?,
             wire::parse_usize(&range.remove(0))?,
         );
-        if start > end {
-            return Err(wire::malformed("inverted cell range"));
-        }
         let next = wire::parse_usize(&expect_fields(lines, "next", 1)?[0])?;
-        if next < start || next > end {
-            return Err(wire::malformed("fold cursor outside the cell range"));
-        }
         let agg = expect_fields(lines, "agg", 8)?;
         let mut aggregate = CampaignAggregate {
             cells: wire::parse_usize(&agg[0])?,
@@ -437,11 +506,6 @@ impl MergeSink {
             total_energy_j: wire::parse_f64(&agg[7])?,
             ..CampaignAggregate::default()
         };
-        if aggregate.cells != next - start {
-            return Err(wire::malformed(
-                "aggregate cell count disagrees with cursor",
-            ));
-        }
         for name in ["energy", "power", "exec", "peak", "meantemp"] {
             let fields = expect_fields(lines, "welford", 6)?;
             if fields[0] != name {
@@ -478,35 +542,17 @@ impl MergeSink {
         let mut pending = BTreeMap::new();
         for _ in 0..pending_count {
             let (index, outcome) = decode_outcome(lines)?;
-            if index < next || index >= end {
-                return Err(wire::malformed(format!(
-                    "pending cell {index} outside the unfolded range"
-                )));
-            }
             if pending.insert(index, outcome).is_some() {
                 return Err(wire::malformed(format!("pending cell {index} duplicated")));
             }
         }
-        Ok(MergeSink {
-            start,
-            end,
-            next,
-            aggregate,
-            pending,
-            failures,
-        })
+        MergeSink::from_parts(start, end, next, aggregate, pending, failures)
     }
 }
 
 impl ResultSink for MergeSink {
     fn accept(&mut self, index: usize, outcome: Result<RunReport, SimError>) {
-        let outcome = match outcome {
-            Ok(report) => CellOutcome::Completed(CellStats::from(&report.summary)),
-            Err(error) => CellOutcome::Failed(CellFailure {
-                index,
-                error: error.to_string(),
-            }),
-        };
+        let outcome = CellOutcome::from_run(index, outcome);
         self.offer(index, outcome);
     }
 }
